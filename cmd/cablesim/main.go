@@ -1,0 +1,148 @@
+// Command cablesim regenerates the paper's tables and figures from the
+// simulated CableS/GeNIMA systems.
+//
+// Usage:
+//
+//	cablesim table3                 # basic VMMC costs
+//	cablesim table4                 # CableS basic-event costs + breakdowns
+//	cablesim table5 [-scale s]      # pthreads programs, per-op costs
+//	cablesim table6 [-scale s]      # OpenMP SPLASH-2 speedups
+//	cablesim fig5 [-scale s] [-apps FFT,LU,...] [-procs 1,4,8]
+//	cablesim fig6 [-scale s] [-apps ...] [-procs ...] [-gran 4096]
+//	cablesim limits                 # Tables 1/2 registration-limit demo
+//	cablesim all [-scale s]         # everything above
+//
+// -scale is "test" (fast) or "paper" (scaled evaluation sizes, default).
+// -gran overrides the OS mapping granularity in bytes (64 KB default;
+// 4096 emulates the paper's planned Linux port) for fig5/fig6.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cables/internal/bench"
+	"cables/internal/sim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	scale := fs.String("scale", "paper", `problem sizes: "test" or "paper"`)
+	apps := fs.String("apps", "", "comma-separated application list (fig5/fig6)")
+	procs := fs.String("procs", "", "comma-separated processor counts (fig5/fig6)")
+	gran := fs.Int("gran", 0, "OS mapping granularity in bytes (default 64 KB)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	sc := bench.Scale(*scale)
+	if sc != bench.ScaleTest && sc != bench.ScalePaper {
+		fmt.Fprintf(os.Stderr, "cablesim: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	var costs *sim.Costs
+	if *gran > 0 {
+		costs = sim.DefaultCosts()
+		costs.MapGranularity = *gran
+	}
+	appList := splitList(*apps)
+	procList := parseInts(*procs)
+
+	w := os.Stdout
+	switch cmd {
+	case "table3":
+		bench.Table3(w)
+	case "table4":
+		bench.Table4(w)
+	case "table5":
+		bench.Table5(w, sc)
+	case "table6":
+		bench.Table6(w, sc)
+	case "fig5":
+		data := bench.RunFig5(appList, procList, sc, costs)
+		bench.Fig5(w, data, procList)
+	case "fig6":
+		data := bench.RunFig5(appList, procList, sc, costs)
+		bench.Fig6(w, data, procList)
+	case "fig5+6":
+		data := bench.RunFig5(appList, procList, sc, costs)
+		bench.Fig5(w, data, procList)
+		bench.Fig6(w, data, procList)
+	case "limits":
+		bench.Limits(w)
+	case "counters":
+		runCounters(w, appList, procList, sc, costs)
+	case "all":
+		bench.Table3(w)
+		bench.Table4(w)
+		bench.Table5(w, sc)
+		bench.Table6(w, sc)
+		data := bench.RunFig5(appList, procList, sc, costs)
+		bench.Fig5(w, data, procList)
+		bench.Fig6(w, data, procList)
+		bench.Limits(w)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+// runCounters runs applications on both backends and dumps the system
+// event counters — the protocol-level profile behind the figures.
+func runCounters(w *os.File, apps []string, procs []int, sc bench.Scale, costs *sim.Costs) {
+	if len(apps) == 0 {
+		apps = bench.AppNames
+	}
+	if len(procs) == 0 {
+		procs = []int{8}
+	}
+	for _, app := range apps {
+		for _, p := range procs {
+			for _, backend := range []string{bench.BackendGenima, bench.BackendCables} {
+				res, ctr, err := bench.RunAppCounters(app, backend, p, sc, costs)
+				if err != nil {
+					fmt.Fprintf(w, "%s/%s p=%d: FAILED: %v\n", app, backend, p, err)
+					continue
+				}
+				fmt.Fprintf(w, "%s\n  %s\n", res, ctr)
+			}
+		}
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, p := range splitList(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cablesim: bad processor count %q\n", p)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: cablesim <table3|counters|table4|table5|table6|fig5|fig6|fig5+6|limits|all> [flags]
+flags: -scale test|paper  -apps A,B  -procs 1,4,8  -gran bytes`)
+}

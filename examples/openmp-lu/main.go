@@ -1,0 +1,28 @@
+// Openmp-lu: run the OpenMP LU program (as an OdinMP-style translator
+// emits it) on CableS at several processor counts and report the paper's
+// Table 6 metric — speedup of an SMP-style OpenMP code on the cluster.
+//
+// Run: go run ./examples/openmp-lu
+package main
+
+import (
+	"fmt"
+
+	"cables/internal/apps/omp"
+	"cables/internal/openmp"
+	"cables/internal/sim"
+)
+
+func main() {
+	const n = 192
+	var base sim.Time
+	for _, procs := range []int{1, 4, 8} {
+		r := openmp.New(openmp.Config{Procs: procs, ProcsPerNode: 2})
+		res := omp.LU(r, n)
+		if procs == 1 {
+			base = res.Parallel
+		}
+		fmt.Printf("OMP LU n=%d procs=%-2d parallel=%-10v speedup=%.2f checksum=%.4g\n",
+			n, procs, res.Parallel, float64(base)/float64(res.Parallel), res.Checksum)
+	}
+}

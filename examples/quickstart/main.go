@@ -1,0 +1,80 @@
+// Quickstart: the paper's Figure 4 programming model on CableS.
+//
+// A CableS program looks like an ordinary pthreads program: declare GLOBAL
+// static variables, call pthread_start(), create threads anywhere, allocate
+// shared memory at any time, synchronize with mutexes/conditions/barriers,
+// and finish with pthread_end().  Underneath, the library attaches cluster
+// nodes on demand and keeps the shared address space coherent.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	cables "cables/internal/core"
+	"cables/internal/memsys"
+	"cables/internal/sim"
+)
+
+func main() {
+	// A 4-node cluster of 2-way SMPs; only the master is attached until
+	// thread creation needs more.
+	rt := cables.New(cables.Config{MaxNodes: 4, ProcsPerNode: 2})
+
+	// pthread_start(): initialize the library, get the main thread.
+	main := rt.Start()
+	acc := rt.Acc()
+
+	// GLOBAL int total;  — a static variable shared by every thread.
+	total := rt.Mem().GlobalVar(8)
+	acc.WriteI64(main.Task, total, 0)
+
+	// Shared memory can be allocated at any point during execution.
+	const workers, items = 6, 1024
+	data, err := rt.Mem().Malloc(main.Task, items*8)
+	if err != nil {
+		panic(err)
+	}
+	for i := int64(0); i < items; i++ {
+		acc.WriteI64(main.Task, data+memsys.Addr(i*8), i)
+	}
+
+	mx := rt.NewMutex(main.Task)
+	done := rt.NewCond(main.Task)
+	finished := rt.Mem().GlobalVar(8)
+	acc.WriteI64(main.Task, finished, 0)
+
+	// pthread_create(): threads land on nodes round-robin; new nodes are
+	// attached automatically when the current ones fill up.
+	for w := 0; w < workers; w++ {
+		w := w
+		rt.Create(main.Task, func(th *cables.Thread) {
+			sum := int64(0)
+			for i := w; i < items; i += workers {
+				sum += acc.ReadI64(th.Task, data+memsys.Addr(i*8))
+				th.Task.Compute(200 * sim.Nanosecond)
+			}
+			mx.Lock(th.Task)
+			acc.WriteI64(th.Task, total, acc.ReadI64(th.Task, total)+sum)
+			acc.WriteI64(th.Task, finished, acc.ReadI64(th.Task, finished)+1)
+			done.Signal(th.Task)
+			mx.Unlock(th.Task)
+		})
+	}
+
+	// Wait on a condition variable until every worker has reported.
+	mx.Lock(main.Task)
+	for acc.ReadI64(main.Task, finished) < workers {
+		done.Wait(main, mx)
+	}
+	got := acc.ReadI64(main.Task, total)
+	mx.Unlock(main.Task)
+
+	// pthread_end().
+	end := rt.End(main.Task)
+	fmt.Printf("sum over shared array = %d (want %d)\n", got, int64(items*(items-1)/2))
+	fmt.Printf("nodes attached on demand: %d\n", rt.AttachedNodes())
+	fmt.Printf("virtual execution time: %v\n", end)
+	fmt.Printf("system events: %v\n", rt.Cluster().Ctr)
+}

@@ -1,0 +1,34 @@
+// Splash-fft: run the tuned SPLASH-2 FFT on both systems — the original
+// SVM system (M4 macros on GeNIMA) and CableS (M4 macros on pthreads) — and
+// compare parallel-section time and page placement, the paper's Figure 5/6
+// methodology for one application.
+//
+// Run: go run ./examples/splash-fft
+package main
+
+import (
+	"fmt"
+
+	"cables/internal/apps/fft"
+	cables "cables/internal/core"
+	"cables/internal/m4"
+)
+
+func main() {
+	const m, procs = 14, 8
+
+	grt := m4.New(m4.Config{Procs: procs, ProcsPerNode: 2, ArenaBytes: 64 << 20})
+	g := fft.Run(grt, fft.Config{M: m})
+	fmt.Printf("base system : %v\n", g)
+
+	crt := cables.NewM4(cables.M4Config{Procs: procs, ProcsPerNode: 2, ArenaBytes: 64 << 20})
+	c := fft.Run(crt, fft.Config{M: m})
+	fmt.Printf("CableS      : %v\n", c)
+
+	fmt.Printf("\nchecksums agree: %v\n", g.Checksum == c.Checksum)
+	fmt.Printf("CableS parallel-section overhead vs base: %+.1f%%\n",
+		100*(float64(c.Parallel)/float64(g.Parallel)-1))
+	fmt.Printf("CableS total includes %v of node-attach/init overhead (paper: init/termination)\n",
+		c.Total-c.Parallel)
+	fmt.Printf("pages misplaced by 64 KB map-unit binding: %.1f%%\n", c.MisplacedPct())
+}

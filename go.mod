@@ -1,0 +1,3 @@
+module cables
+
+go 1.22

@@ -1,0 +1,77 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"cables/internal/m4"
+)
+
+// TestFFT1DAgainstNaiveDFT validates the kernel against a direct O(n^2)
+// DFT.
+func TestFFT1DAgainstNaiveDFT(t *testing.T) {
+	const n = 64
+	in := make([]complex128, n)
+	v := make([]float64, 2*n)
+	for i := 0; i < n; i++ {
+		re, im := math.Sin(float64(i)), math.Cos(float64(3*i))
+		in[i] = complex(re, im)
+		v[2*i], v[2*i+1] = re, im
+	}
+	FFT1D(v)
+	for k := 0; k < n; k++ {
+		var want complex128
+		for j := 0; j < n; j++ {
+			want += in[j] * cmplx.Exp(complex(0, -2*math.Pi*float64(k*j)/float64(n)))
+		}
+		got := complex(v[2*k], v[2*k+1])
+		if cmplx.Abs(got-want) > 1e-9*float64(n) {
+			t.Fatalf("bin %d: got %v want %v", k, got, want)
+		}
+	}
+}
+
+// TestParsevalEnergy: FFT preserves signal energy (Parseval's theorem).
+func TestParsevalEnergy(t *testing.T) {
+	const n = 256
+	v := make([]float64, 2*n)
+	energyIn := 0.0
+	for i := 0; i < n; i++ {
+		v[2*i] = math.Sin(float64(7 * i))
+		energyIn += v[2*i] * v[2*i]
+	}
+	FFT1D(v)
+	energyOut := 0.0
+	for i := 0; i < n; i++ {
+		energyOut += v[2*i]*v[2*i] + v[2*i+1]*v[2*i+1]
+	}
+	if math.Abs(energyOut/float64(n)-energyIn) > 1e-6*energyIn {
+		t.Errorf("Parseval violated: in=%g out/n=%g", energyIn, energyOut/float64(n))
+	}
+}
+
+// TestRunChecksumStableAcrossProcs: the parallel FFT computes the same
+// result at any processor count.
+func TestRunChecksumStableAcrossProcs(t *testing.T) {
+	var base float64
+	for _, procs := range []int{1, 2, 8} {
+		rt := m4.New(m4.Config{Procs: procs, ProcsPerNode: 2, ArenaBytes: 32 << 20})
+		res := Run(rt, Config{M: 10})
+		if procs == 1 {
+			base = res.Checksum
+			continue
+		}
+		if rel := math.Abs(res.Checksum-base) / base; rel > 1e-9 {
+			t.Errorf("p=%d checksum drift: %g vs %g", procs, res.Checksum, base)
+		}
+	}
+}
+
+func TestOddMIsRounded(t *testing.T) {
+	rt := m4.New(m4.Config{Procs: 2, ProcsPerNode: 2, ArenaBytes: 32 << 20})
+	res := Run(rt, Config{M: 9}) // becomes 10
+	if res.Checksum == 0 {
+		t.Error("zero checksum")
+	}
+}

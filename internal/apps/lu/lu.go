@@ -1,0 +1,209 @@
+// Package lu ports the SPLASH-2 LU kernel: blocked dense LU factorization
+// (no pivoting) with contiguous blocks.  Blocks are 2D-scattered over a
+// processor grid, so each owner's data is many small blocks interleaved with
+// other owners' — under 64 KB map-unit home binding this produces the high
+// page-misplacement percentages the paper reports for LU (with little
+// performance impact thanks to LU's high computation-to-communication ratio).
+package lu
+
+import (
+	"math"
+
+	"cables/internal/apps/appapi"
+	"cables/internal/memsys"
+	"cables/internal/sim"
+)
+
+// Config sizes the LU run.
+type Config struct {
+	// N is the matrix dimension (paper: n4096; scaled default: 256).
+	N int
+	// B is the block size (SPLASH default 16).
+	B int
+}
+
+// DefaultConfig returns the scaled default problem size.  Blocks of 32
+// keep the computation-to-communication ratio of the paper-scale runs
+// (n4096): one block update costs more than fetching its operands.
+func DefaultConfig() Config { return Config{N: 512, B: 32} }
+
+const flopCost = 5 * sim.Nanosecond
+
+// Run executes LU on rt and reports the result.
+func Run(rt appapi.Runtime, cfg Config) appapi.Result {
+	if cfg.N == 0 {
+		cfg = DefaultConfig()
+	}
+	n, bs := cfg.N, cfg.B
+	nb := n / bs // blocks per dimension
+	procs := rt.Procs()
+	main := rt.Main()
+	acc := rt.Acc()
+
+	// Processor grid pr x pc (as square as possible).
+	pr := 1
+	for pr*pr < procs {
+		pr++
+	}
+	for procs%pr != 0 {
+		pr--
+	}
+	pc := procs / pr
+
+	// Matrix stored block-contiguous: block (bi,bj) occupies bs*bs doubles.
+	mat, err := rt.Malloc(main, "lu.A", int64(n)*int64(n)*8)
+	if err != nil {
+		panic("lu: " + err.Error())
+	}
+	blkAddr := func(bi, bj int) memsys.Addr {
+		return mat + memsys.Addr(((bi*nb)+bj)*bs*bs*8)
+	}
+	owner := func(bi, bj int) int { return (bi%pr)*pc + (bj % pc) }
+
+	var sec appapi.Section
+	var red appapi.Reduce
+	blkFlops := sim.Time(2*bs*bs*bs) * flopCost
+
+	appapi.RunWorkers(rt, procs, func(t *sim.Task, p int) {
+		buf := make([]float64, bs*bs)
+		l := make([]float64, bs*bs)
+		u := make([]float64, bs*bs)
+
+		// Init: owners fill their blocks (diagonally dominant matrix).
+		for bi := 0; bi < nb; bi++ {
+			for bj := 0; bj < nb; bj++ {
+				if owner(bi, bj) != p {
+					continue
+				}
+				for i := 0; i < bs; i++ {
+					for j := 0; j < bs; j++ {
+						gi, gj := bi*bs+i, bj*bs+j
+						v := 1.0 / (1 + float64(gi+gj))
+						if gi == gj {
+							v += float64(n)
+						}
+						buf[i*bs+j] = v
+					}
+				}
+				acc.WriteF64s(t, blkAddr(bi, bj), buf)
+			}
+		}
+		rt.Barrier(t, "lu.init", procs)
+		sec.Enter(t)
+
+		for k := 0; k < nb; k++ {
+			// Factor the diagonal block.
+			if owner(k, k) == p {
+				acc.ReadF64s(t, blkAddr(k, k), buf)
+				factorDiag(buf, bs)
+				acc.WriteF64s(t, blkAddr(k, k), buf)
+				t.Compute(blkFlops / 3)
+			}
+			rt.Barrier(t, "lu.diag", procs)
+			// Perimeter: update row k and column k blocks.
+			acc.ReadF64s(t, blkAddr(k, k), buf)
+			for j := k + 1; j < nb; j++ {
+				if owner(k, j) == p {
+					acc.ReadF64s(t, blkAddr(k, j), u)
+					lowerSolve(buf, u, bs)
+					acc.WriteF64s(t, blkAddr(k, j), u)
+					t.Compute(blkFlops / 2)
+				}
+				if owner(j, k) == p {
+					acc.ReadF64s(t, blkAddr(j, k), l)
+					upperSolve(buf, l, bs)
+					acc.WriteF64s(t, blkAddr(j, k), l)
+					t.Compute(blkFlops / 2)
+				}
+			}
+			rt.Barrier(t, "lu.perim", procs)
+			// Interior: A(i,j) -= L(i,k) * U(k,j).
+			for i := k + 1; i < nb; i++ {
+				for j := k + 1; j < nb; j++ {
+					if owner(i, j) != p {
+						continue
+					}
+					acc.ReadF64s(t, blkAddr(i, k), l)
+					acc.ReadF64s(t, blkAddr(k, j), u)
+					acc.ReadF64s(t, blkAddr(i, j), buf)
+					matmulSub(buf, l, u, bs)
+					acc.WriteF64s(t, blkAddr(i, j), buf)
+					t.Compute(blkFlops)
+				}
+			}
+			rt.Barrier(t, "lu.inner", procs)
+		}
+
+		// Checksum over owned blocks of the factored matrix.
+		sum := 0.0
+		for bi := 0; bi < nb; bi++ {
+			for bj := 0; bj < nb; bj++ {
+				if owner(bi, bj) != p {
+					continue
+				}
+				acc.ReadF64s(t, blkAddr(bi, bj), buf)
+				for _, v := range buf {
+					sum += math.Abs(v)
+				}
+			}
+		}
+		red.Add(p, sum)
+		sec.Leave(t)
+	})
+
+	res := appapi.Result{App: "LU", Checksum: red.Sum(procs)}
+	appapi.Finalize(rt, &res, &sec)
+	return res
+}
+
+// factorDiag factors a bs x bs block in place (Doolittle, no pivoting).
+func factorDiag(a []float64, bs int) {
+	for k := 0; k < bs; k++ {
+		for i := k + 1; i < bs; i++ {
+			a[i*bs+k] /= a[k*bs+k]
+			for j := k + 1; j < bs; j++ {
+				a[i*bs+j] -= a[i*bs+k] * a[k*bs+j]
+			}
+		}
+	}
+}
+
+// lowerSolve computes U := L^-1 * U for the unit-lower triangle of diag.
+func lowerSolve(diag, u []float64, bs int) {
+	for k := 0; k < bs; k++ {
+		for i := k + 1; i < bs; i++ {
+			f := diag[i*bs+k]
+			for j := 0; j < bs; j++ {
+				u[i*bs+j] -= f * u[k*bs+j]
+			}
+		}
+	}
+}
+
+// upperSolve computes L := L * U^-1 for the upper triangle of diag.
+func upperSolve(diag, l []float64, bs int) {
+	for j := 0; j < bs; j++ {
+		d := diag[j*bs+j]
+		for i := 0; i < bs; i++ {
+			l[i*bs+j] /= d
+			for k := j + 1; k < bs; k++ {
+				l[i*bs+k] -= l[i*bs+j] * diag[j*bs+k]
+			}
+		}
+	}
+}
+
+// matmulSub computes C -= A*B for bs x bs blocks.
+func matmulSub(c, a, b []float64, bs int) {
+	for i := 0; i < bs; i++ {
+		for k := 0; k < bs; k++ {
+			f := a[i*bs+k]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < bs; j++ {
+				c[i*bs+j] -= f * b[k*bs+j]
+			}
+		}
+	}
+}

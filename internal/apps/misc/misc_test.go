@@ -1,0 +1,79 @@
+package misc
+
+import (
+	"testing"
+
+	cables "cables/internal/core"
+)
+
+func newRT(nodes int) *cables.Runtime {
+	return cables.New(cables.Config{MaxNodes: nodes, ProcsPerNode: 2})
+}
+
+// primesBelow counts primes in [2, limit+1] the boring way.
+func primesBelow(limit int) int64 {
+	var n int64
+	for v := 2; v < limit+2; v++ {
+		if isPrime(v) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestPNComputesPrimeCount: the distributed count matches a sequential
+// sieve, exercising create/join/mutex/cond/cancel along the way.
+func TestPNComputesPrimeCount(t *testing.T) {
+	const limit = 2000
+	res := RunPN(newRT(4), limit, 5)
+	if want := primesBelow(limit); res.Answer != want {
+		t.Errorf("primes: got %d want %d", res.Answer, want)
+	}
+	for _, op := range []string{"create", "join", "mutex_lock", "cond_signal", "cancel"} {
+		if _, n := res.Stats.Avg(op); n == 0 {
+			t.Errorf("op %q never measured", op)
+		}
+	}
+}
+
+// TestPCTransfersEveryItem: the bounded buffer delivers all items exactly
+// once (sum formula), using only local operations on one node.
+func TestPCTransfersEveryItem(t *testing.T) {
+	const items = 200
+	res := RunPC(newRT(1), items)
+	if want := int64(items * (items + 1) / 2); res.Answer != want {
+		t.Errorf("sum: got %d want %d", res.Answer, want)
+	}
+	if _, n := res.Stats.Avg("cond_wait"); n == 0 {
+		t.Error("no condition waits recorded — buffer never blocked")
+	}
+}
+
+// TestPIPEAppliesStagesInOrder: item v becomes f^S(v) with f(x)=2x+1, so
+// f^S(v) = 2^S * v + (2^S - 1).
+func TestPIPEAppliesStagesInOrder(t *testing.T) {
+	const stages, items = 5, 60
+	res := RunPIPE(newRT(4), stages, items)
+	mult := int64(1) << stages
+	var want int64
+	for i := 1; i <= items; i++ {
+		want += mult*int64(i) + (mult - 1)
+	}
+	if res.Answer != want {
+		t.Errorf("pipeline output: got %d want %d", res.Answer, want)
+	}
+	if _, n := res.Stats.Avg("cond_broadcast"); n == 0 {
+		t.Error("no broadcasts recorded")
+	}
+}
+
+// TestProgramsReportOpStats: Table 5's inputs are non-degenerate.
+func TestProgramsReportOpStats(t *testing.T) {
+	res := RunPN(newRT(2), 500, 3)
+	if avg, n := res.Stats.Avg("mutex_unlock"); n == 0 || avg <= 0 {
+		t.Errorf("mutex_unlock: avg=%v n=%d", avg, n)
+	}
+	if res.Total <= 0 {
+		t.Error("no virtual time elapsed")
+	}
+}

@@ -1,0 +1,60 @@
+package omp
+
+import (
+	"math"
+	"testing"
+
+	"cables/internal/openmp"
+)
+
+func newRT(procs int) *openmp.Runtime {
+	return openmp.New(openmp.Config{Procs: procs, ProcsPerNode: 2})
+}
+
+// TestOMPFFTMatchesTunedFFT: the OpenMP FFT computes the same transform as
+// the tuned SPLASH version at p=1 (same input, same checksum definition).
+func TestOMPFFTStableAcrossProcs(t *testing.T) {
+	base := FFT(newRT(1), 10).Checksum
+	for _, procs := range []int{2, 4} {
+		got := FFT(newRT(procs), 10).Checksum
+		if rel := math.Abs(got-base) / base; rel > 1e-9 {
+			t.Errorf("p=%d drift: %g vs %g", procs, got, base)
+		}
+	}
+}
+
+// TestOMPLUMatchesRowElimination: checksum stable across widths.
+func TestOMPLUStableAcrossProcs(t *testing.T) {
+	base := LU(newRT(1), 64).Checksum
+	for _, procs := range []int{2, 4} {
+		got := LU(newRT(procs), 64).Checksum
+		if rel := math.Abs(got-base) / base; rel > 1e-9 {
+			t.Errorf("p=%d drift: %g vs %g", procs, got, base)
+		}
+	}
+}
+
+// TestOMPOceanStableAcrossProcs: red-black sweeps are deterministic.
+func TestOMPOceanStableAcrossProcs(t *testing.T) {
+	base := Ocean(newRT(1), 64, 2).Checksum
+	for _, procs := range []int{2, 4} {
+		got := Ocean(newRT(procs), 64, 2).Checksum
+		if rel := math.Abs(got-base) / base; rel > 1e-9 {
+			t.Errorf("p=%d drift: %g vs %g", procs, got, base)
+		}
+	}
+}
+
+// TestResultsCarryPlacementMetric: the OMP runs report the Figure 6 metric.
+func TestResultsCarryPlacementMetric(t *testing.T) {
+	res := Ocean(newRT(4), 64, 1)
+	if res.Touched == 0 {
+		t.Error("no touched pages recorded")
+	}
+	if res.Parallel <= 0 || res.Total < res.Parallel {
+		t.Errorf("times inconsistent: total=%v parallel=%v", res.Total, res.Parallel)
+	}
+	if res.Backend != "openmp/cables" {
+		t.Errorf("backend: %s", res.Backend)
+	}
+}

@@ -1,0 +1,63 @@
+package raytrace
+
+import (
+	"math"
+	"testing"
+
+	"cables/internal/m4"
+)
+
+func runRay(t *testing.T, procs int) float64 {
+	t.Helper()
+	rt := m4.New(m4.Config{Procs: procs, ProcsPerNode: 2, ArenaBytes: 32 << 20})
+	res := Run(rt, Config{Image: 64, Spheres: 32, Tile: 16, GridBytes: 256 << 10})
+	if res.Checksum <= 0 {
+		t.Fatal("empty image")
+	}
+	return res.Checksum
+}
+
+// TestImageSumIndependentOfScheduling: the dynamic tile queue assigns work
+// nondeterministically, but the rendered image (and so its sum) must not
+// depend on who rendered what.
+func TestImageSumIndependentOfScheduling(t *testing.T) {
+	base := runRay(t, 1)
+	for _, procs := range []int{4, 8} {
+		got := runRay(t, procs)
+		if rel := math.Abs(got-base) / base; rel > 1e-9 {
+			t.Errorf("p=%d image drift: %g vs %g", procs, got, base)
+		}
+	}
+}
+
+// TestTraceHitsAndMisses exercises the intersection kernel directly.
+func TestTraceHitsAndMisses(t *testing.T) {
+	// One sphere dead ahead.
+	scene := make([]float64, 8)
+	scene[0], scene[1], scene[2] = 0, 0, 5 // center
+	scene[3] = 1                           // radius
+	scene[4] = 1                           // albedo
+	hit := trace(scene, 1, 32, 32, 64)     // center pixel
+	if hit <= 0.05 {
+		t.Errorf("center ray missed: %g", hit)
+	}
+	miss := trace(scene, 1, 0, 0, 64) // far corner
+	if miss != 0.05 {
+		t.Errorf("corner ray hit: %g", miss)
+	}
+}
+
+// TestNearestSphereWins: with two spheres on the same ray the closer one
+// sets the shade.
+func TestNearestSphereWins(t *testing.T) {
+	scene := make([]float64, 16)
+	// Far bright sphere.
+	scene[0], scene[1], scene[2], scene[3], scene[4] = 0, 0, 9, 1, 1.0
+	// Near dim sphere.
+	scene[8], scene[9], scene[10], scene[11], scene[12] = 0, 0, 4, 1, 0.2
+	two := trace(scene, 2, 32, 32, 64)
+	near := trace(scene[8:], 1, 32, 32, 64)
+	if math.Abs(two-near) > 1e-12 {
+		t.Errorf("occlusion wrong: two=%g near-only=%g", two, near)
+	}
+}

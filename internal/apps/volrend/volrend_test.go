@@ -1,0 +1,41 @@
+package volrend
+
+import (
+	"math"
+	"testing"
+
+	"cables/internal/m4"
+)
+
+func runVol(t *testing.T, procs int) float64 {
+	t.Helper()
+	rt := m4.New(m4.Config{Procs: procs, ProcsPerNode: 2, ArenaBytes: 32 << 20})
+	res := Run(rt, Config{Volume: 16, Image: 64, Frames: 2, RowsPerTask: 2})
+	if res.Checksum <= 0 {
+		t.Fatal("nothing rendered")
+	}
+	return res.Checksum
+}
+
+// TestRenderIndependentOfScheduling: scanline groups are distributed by a
+// dynamic queue; the rendered frames must not depend on the distribution.
+func TestRenderIndependentOfScheduling(t *testing.T) {
+	base := runVol(t, 1)
+	for _, procs := range []int{4, 8} {
+		got := runVol(t, procs)
+		if rel := math.Abs(got-base) / base; rel > 1e-9 {
+			t.Errorf("p=%d drift: %g vs %g", procs, got, base)
+		}
+	}
+}
+
+// TestFramesAccumulate: rendering more frames yields a larger total.
+func TestFramesAccumulate(t *testing.T) {
+	rt1 := m4.New(m4.Config{Procs: 2, ProcsPerNode: 2, ArenaBytes: 32 << 20})
+	one := Run(rt1, Config{Volume: 16, Image: 32, Frames: 1, RowsPerTask: 2})
+	rt3 := m4.New(m4.Config{Procs: 2, ProcsPerNode: 2, ArenaBytes: 32 << 20})
+	three := Run(rt3, Config{Volume: 16, Image: 32, Frames: 3, RowsPerTask: 2})
+	if three.Checksum <= one.Checksum {
+		t.Errorf("frames did not accumulate: 1=%g 3=%g", one.Checksum, three.Checksum)
+	}
+}

@@ -1,0 +1,84 @@
+package water
+
+import (
+	"math"
+	"testing"
+
+	"cables/internal/m4"
+)
+
+func runWater(t *testing.T, procs int, fl bool) float64 {
+	t.Helper()
+	rt := m4.New(m4.Config{Procs: procs, ProcsPerNode: 2, ArenaBytes: 32 << 20})
+	res := Run(rt, Config{Molecules: 512, Steps: 2, Cells: 4, FineLocks: fl})
+	if res.Checksum <= 0 {
+		t.Fatalf("no interactions computed (checksum %g)", res.Checksum)
+	}
+	return res.Checksum
+}
+
+// TestPotentialStableAcrossProcs: the potential-energy sum is independent
+// of the processor count (same pairs, deterministic order per cell).
+func TestPotentialStableAcrossProcs(t *testing.T) {
+	base := runWater(t, 1, false)
+	for _, procs := range []int{2, 8} {
+		got := runWater(t, procs, false)
+		if rel := math.Abs(got-base) / base; rel > 1e-9 {
+			t.Errorf("p=%d potential drift: %g vs %g", procs, got, base)
+		}
+	}
+}
+
+// TestFineLockVariantSameAnswer: WATER-SPAT-FL computes the same physics.
+func TestFineLockVariantSameAnswer(t *testing.T) {
+	plain := runWater(t, 4, false)
+	fl := runWater(t, 4, true)
+	if rel := math.Abs(plain-fl) / plain; rel > 1e-9 {
+		t.Errorf("variant mismatch: %g vs %g", plain, fl)
+	}
+}
+
+// TestNeighborEnumeration checks the cell adjacency helper on corners,
+// edges and interior cells.
+func TestNeighborEnumeration(t *testing.T) {
+	count := func(c, cdim int) int {
+		n := 0
+		forEachNeighbor(c, cdim, func(int) { n++ })
+		return n
+	}
+	if got := count(0, 4); got != 8 { // corner: 2x2x2
+		t.Errorf("corner: %d", got)
+	}
+	center := (2*4+2)*4 + 2
+	if got := count(center, 4); got != 27 {
+		t.Errorf("interior: %d", got)
+	}
+	edge := (0*4+0)*4 + 2 // on one face-edge
+	if got := count(edge, 4); got != 12 {
+		t.Errorf("edge: %d", got)
+	}
+}
+
+// TestNeighborSymmetry: neighbor relation is symmetric.
+func TestNeighborSymmetry(t *testing.T) {
+	const cdim = 3
+	adj := make(map[[2]int]bool)
+	for c := 0; c < cdim*cdim*cdim; c++ {
+		forEachNeighbor(c, cdim, func(nc int) { adj[[2]int{c, nc}] = true })
+	}
+	for k := range adj {
+		if !adj[[2]int{k[1], k[0]}] {
+			t.Fatalf("asymmetric: %v", k)
+		}
+	}
+}
+
+// TestMoleculeCountRounding: molecule counts not divisible by the cell
+// count are rounded down rather than crashing.
+func TestMoleculeCountRounding(t *testing.T) {
+	rt := m4.New(m4.Config{Procs: 2, ProcsPerNode: 2, ArenaBytes: 32 << 20})
+	res := Run(rt, Config{Molecules: 130, Steps: 1, Cells: 4})
+	if res.Checksum <= 0 {
+		t.Error("rounded run computed nothing")
+	}
+}

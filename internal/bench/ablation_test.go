@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"cables/internal/sim"
+)
+
+// TestFig5AndFig6Formatting: the figure tables carry one row per
+// (application, system) with a cell per processor count.
+func TestFig5AndFig6Formatting(t *testing.T) {
+	procs := []int{1, 4}
+	data := RunFig5([]string{"FFT"}, procs, ScaleTest, nil)
+	f5 := Fig5(io.Discard, data, procs).String()
+	if !strings.Contains(f5, "FFT") || !strings.Contains(f5, "genima") ||
+		!strings.Contains(f5, "cables") {
+		t.Errorf("fig5 table malformed:\n%s", f5)
+	}
+	f6 := Fig6(io.Discard, data, procs).String()
+	if !strings.Contains(f6, "FFT") || !strings.Contains(f6, "%") {
+		t.Errorf("fig6 table malformed:\n%s", f6)
+	}
+}
+
+// TestGranularityAblationErasesMisplacement: the paper attributes CableS's
+// placement overhead entirely to WindowsNT's 64 KB mapping granularity; at
+// 4 KB (the planned Linux port) misplacement must vanish.
+func TestGranularityAblationErasesMisplacement(t *testing.T) {
+	nt, err := RunApp("LU", BackendCables, 8, ScaleTest, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nt.MisplacedPct() < 10 {
+		t.Fatalf("precondition: LU at 64KB should misplace pages (got %.1f%%)",
+			nt.MisplacedPct())
+	}
+	costs := sim.DefaultCosts()
+	costs.MapGranularity = 4 << 10
+	linux, err := RunApp("LU", BackendCables, 8, ScaleTest, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if linux.Misplaced != 0 {
+		t.Errorf("4KB granularity still misplaces %d pages", linux.Misplaced)
+	}
+	if linux.Checksum != nt.Checksum {
+		t.Errorf("granularity changed the computation: %g vs %g",
+			linux.Checksum, nt.Checksum)
+	}
+}
+
+// TestLinuxProfileRunsApps: the full Linux OS profile (cheaper threads,
+// 4 KB units) is a valid configuration end to end.
+func TestLinuxProfileRunsApps(t *testing.T) {
+	costs := sim.DefaultCosts().LinuxOS()
+	res, err := RunApp("WATER-SPATIAL", BackendCables, 4, ScaleTest, costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checksum <= 0 || res.Misplaced != 0 {
+		t.Errorf("linux profile run: %v", res)
+	}
+}

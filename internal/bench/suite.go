@@ -1,0 +1,144 @@
+// Package bench is the experiment harness: it reconstructs every table and
+// figure of the paper's evaluation (§3) from the simulated systems.  Each
+// exported TableN/FigN function prints the same rows/series the paper
+// reports; bench_test.go at the repository root exposes them as Go
+// benchmarks.
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"cables/internal/apps/appapi"
+	"cables/internal/apps/fft"
+	"cables/internal/apps/lu"
+	"cables/internal/apps/ocean"
+	"cables/internal/apps/radix"
+	"cables/internal/apps/raytrace"
+	"cables/internal/apps/volrend"
+	"cables/internal/apps/water"
+	cables "cables/internal/core"
+	"cables/internal/m4"
+	"cables/internal/sim"
+	"cables/internal/stats"
+)
+
+// Scale selects problem sizes: "test" for quick CI-size runs, "paper" for
+// the (scaled-down) evaluation sizes used to regenerate the figures.
+type Scale string
+
+// Recognized scales.
+const (
+	ScaleTest  Scale = "test"
+	ScalePaper Scale = "paper"
+)
+
+// Backend names.
+const (
+	BackendGenima = "genima" // the original, optimized SVM system (M4)
+	BackendCables = "cables" // M4 macros on CableS pthreads
+)
+
+// AppNames lists the SPLASH-2 applications in the paper's Figure 5 order.
+var AppNames = []string{
+	"FFT", "LU", "OCEAN", "RADIX",
+	"WATER-SPATIAL", "WATER-SPAT-FL", "VOLREND", "RAYTRACE",
+}
+
+// ProcCounts is the paper's processor sweep.
+var ProcCounts = []int{1, 4, 8, 16, 32}
+
+// NewRuntime builds an application runtime on the chosen backend.
+func NewRuntime(backend string, procs int, arena int64, costs *sim.Costs) appapi.Runtime {
+	switch backend {
+	case BackendGenima:
+		return m4.New(m4.Config{Procs: procs, ProcsPerNode: 2, ArenaBytes: arena, Costs: costs})
+	case BackendCables:
+		return cables.NewM4(cables.M4Config{Procs: procs, ProcsPerNode: 2, ArenaBytes: arena, Costs: costs})
+	default:
+		panic(fmt.Sprintf("bench: unknown backend %q", backend))
+	}
+}
+
+// RunApp executes the named application at the given processor count on the
+// given backend.  Registration failures (the base system's NIC limits)
+// surface as errors, exactly like the paper's OCEAN-at-32 case.
+func RunApp(name, backend string, procs int, scale Scale, costs *sim.Costs) (appapi.Result, error) {
+	return runAppOn(NewRuntime(backend, procs, 256<<20, costs), name, scale)
+}
+
+// RunAppCounters runs an application and also returns the system event
+// counters (the `cablesim counters` profile).
+func RunAppCounters(name, backend string, procs int, scale Scale, costs *sim.Costs) (appapi.Result, *stats.Counters, error) {
+	rt := NewRuntime(backend, procs, 256<<20, costs)
+	res, err := runAppOn(rt, name, scale)
+	return res, rt.Cluster().Ctr, err
+}
+
+// runAppOn dispatches to the workload implementations.
+func runAppOn(rt appapi.Runtime, name string, scale Scale) (res appapi.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("bench: %s panicked: %v", name, r)
+		}
+	}()
+	switch name {
+	case "FFT":
+		m := 18 // per-worker row blocks stay map-unit aligned at 32 procs
+		if scale == ScaleTest {
+			m = 12
+		}
+		res = fft.Run(rt, fft.Config{M: m})
+	case "LU":
+		cfg := lu.DefaultConfig()
+		if scale == ScaleTest {
+			cfg.N = 192
+		}
+		res = lu.Run(rt, cfg)
+	case "OCEAN":
+		cfg := ocean.DefaultConfig()
+		if scale == ScaleTest {
+			cfg.N, cfg.Iters = 64, 2
+		}
+		res, err = ocean.Run(rt, cfg)
+	case "RADIX":
+		cfg := radix.DefaultConfig()
+		if scale == ScaleTest {
+			cfg.N = 16 << 10
+		}
+		res = radix.Run(rt, cfg)
+	case "WATER-SPATIAL":
+		cfg := water.DefaultConfig()
+		if scale == ScaleTest {
+			cfg.Molecules, cfg.Cells = 512, 4
+		}
+		res = water.Run(rt, cfg)
+	case "WATER-SPAT-FL":
+		cfg := water.DefaultConfig()
+		cfg.FineLocks = true
+		if scale == ScaleTest {
+			cfg.Molecules, cfg.Cells = 512, 4
+		}
+		res = water.Run(rt, cfg)
+	case "RAYTRACE":
+		cfg := raytrace.DefaultConfig()
+		if scale == ScaleTest {
+			cfg.Image = 64
+		}
+		res = raytrace.Run(rt, cfg)
+	case "VOLREND":
+		cfg := volrend.DefaultConfig()
+		if scale == ScaleTest {
+			cfg.Image, cfg.Frames = 64, 2
+		}
+		res = volrend.Run(rt, cfg)
+	default:
+		return res, fmt.Errorf("bench: unknown application %q", name)
+	}
+	return res, err
+}
+
+// fprintf writes formatted output, ignoring errors (report streams).
+func fprintf(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format, args...)
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAppsAgreeAcrossBackends runs every SPLASH-2 port on both the base
+// system and CableS at the same processor count and requires identical
+// results — the end-to-end check that both memory systems are coherent.
+func TestAppsAgreeAcrossBackends(t *testing.T) {
+	for _, app := range AppNames {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			g, err := RunApp(app, BackendGenima, 4, ScaleTest, nil)
+			if err != nil {
+				t.Fatalf("genima run: %v", err)
+			}
+			c, err := RunApp(app, BackendCables, 4, ScaleTest, nil)
+			if err != nil {
+				t.Fatalf("cables run: %v", err)
+			}
+			if g.Checksum == 0 || c.Checksum == 0 {
+				t.Fatalf("zero checksum: genima=%g cables=%g", g.Checksum, c.Checksum)
+			}
+			if diff := math.Abs(g.Checksum-c.Checksum) / math.Abs(g.Checksum); diff > 1e-9 {
+				t.Errorf("checksum mismatch: genima=%g cables=%g (rel %g)",
+					g.Checksum, c.Checksum, diff)
+			}
+			if g.Parallel <= 0 || c.Parallel <= 0 {
+				t.Errorf("non-positive parallel section: genima=%v cables=%v",
+					g.Parallel, c.Parallel)
+			}
+			if g.Misplaced != 0 {
+				t.Errorf("base system misplaced %d pages; its placement is the reference",
+					g.Misplaced)
+			}
+			t.Logf("genima: %v", g)
+			t.Logf("cables: %v", c)
+		})
+	}
+}
+
+// TestComputeAppsSpeedUp checks that compute-bound applications actually
+// get faster with more processors on the base system.
+func TestComputeAppsSpeedUp(t *testing.T) {
+	for _, app := range []string{"LU", "RAYTRACE"} {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			seq, err := RunApp(app, BackendGenima, 1, ScaleTest, nil)
+			if err != nil {
+				t.Fatalf("p=1: %v", err)
+			}
+			par, err := RunApp(app, BackendGenima, 8, ScaleTest, nil)
+			if err != nil {
+				t.Fatalf("p=8: %v", err)
+			}
+			sp := float64(seq.Parallel) / float64(par.Parallel)
+			if sp < 1.5 {
+				t.Errorf("speedup at 8 procs: got %.2f, want >= 1.5 (seq=%v par=%v)",
+					sp, seq.Parallel, par.Parallel)
+			}
+			t.Logf("%s speedup at 8 procs: %.2f", app, sp)
+		})
+	}
+}

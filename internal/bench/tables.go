@@ -1,0 +1,398 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	cables "cables/internal/core"
+	"cables/internal/m4"
+	"cables/internal/memsys"
+	"cables/internal/nodeos"
+	"cables/internal/openmp"
+	"cables/internal/sim"
+	"cables/internal/stats"
+
+	"cables/internal/apps/misc"
+	"cables/internal/apps/omp"
+)
+
+// Table3 regenerates the paper's Table 3: basic VMMC operation costs.
+func Table3(w io.Writer) *stats.Table {
+	tab := stats.NewTable("VMMC Operation", "Overhead")
+
+	// Each operation runs on a fresh, idle cluster so no NIC occupancy
+	// from a previous measurement queues behind it.
+	measure := func(fn func(cl *nodeos.Cluster, t *sim.Task)) sim.Time {
+		cl := nodeos.NewCluster(nodeos.Config{NumNodes: 2, ProcsPerNode: 2})
+		t := cl.NewTask(0, 0)
+		fn(cl, t)
+		return t.Now()
+	}
+
+	send1 := measure(func(cl *nodeos.Cluster, t *sim.Task) { cl.VMMC.RemoteWrite(t, 1, 8) })
+	fetch1 := measure(func(cl *nodeos.Cluster, t *sim.Task) { cl.VMMC.Fetch(t, 1, 8) })
+	send4k := measure(func(cl *nodeos.Cluster, t *sim.Task) { cl.VMMC.RemoteWrite(t, 1, 4096) })
+	fetch4k := measure(func(cl *nodeos.Cluster, t *sim.Task) { cl.VMMC.Fetch(t, 1, 4096) })
+	notif := measure(func(cl *nodeos.Cluster, t *sim.Task) { cl.VMMC.Notify(t, 1, 8) })
+
+	const streamBytes = 64 << 20
+	bwSend := measure(func(cl *nodeos.Cluster, t *sim.Task) { cl.VMMC.StreamWrite(t, 1, streamBytes) })
+	bwMBs := float64(streamBytes) / bwSend.Seconds() / 1e6
+	bwFetch := measure(func(cl *nodeos.Cluster, t *sim.Task) {
+		c := t.Costs()
+		t.Charge(sim.CatComm, c.FetchBase+c.Occupancy(streamBytes))
+	})
+	bwFetchMBs := float64(streamBytes) / bwFetch.Seconds() / 1e6
+
+	tab.AddRow("1-word send (one-way lat)", send1.String())
+	tab.AddRow("1-word fetch (round-trip lat)", fetch1.String())
+	tab.AddRow("4 KByte send (one-way lat)", send4k.String())
+	tab.AddRow("4 KByte fetch (round-trip lat)", fetch4k.String())
+	tab.AddRow("Maximum ping-pong bandwidth", fmt.Sprintf("%.0f MBytes/s", bwMBs))
+	tab.AddRow("Maximum fetch bandwidth", fmt.Sprintf("%.0f MBytes/s", bwFetchMBs))
+	tab.AddRow("Notification", notif.String())
+	if w != nil {
+		fprintf(w, "Table 3: basic VMMC costs\n%s\n", tab)
+	}
+	return tab
+}
+
+// row4 is one Table 4 measurement.
+type row4 struct {
+	name  string
+	total sim.Time
+	brk   sim.Breakdown
+}
+
+// measureOp runs fn on t and captures its virtual duration and breakdown.
+func measureOp(t *sim.Task, name string, fn func()) row4 {
+	b0 := t.Snapshot()
+	t0 := t.Now()
+	fn()
+	return row4{name: name, total: t.Now() - t0, brk: t.Snapshot().Sub(b0)}
+}
+
+// Table4 regenerates the paper's Table 4: CableS execution times for the
+// basic events, with local/remote/OS/communication breakdowns, measured on
+// 2- and 4-node configurations with no application data.
+func Table4(w io.Writer) *stats.Table {
+	var rows []row4
+
+	// --- Node attach ---
+	{
+		rt := cables.New(cables.Config{MaxNodes: 4, ProcsPerNode: 2})
+		main := rt.Start().Task
+		rows = append(rows, measureOp(main, "attach node", func() {
+			if _, err := rt.AttachNode(main); err != nil {
+				panic(err)
+			}
+		}))
+	}
+
+	// --- Thread create (local / remote) ---
+	{
+		rt := cables.New(cables.Config{MaxNodes: 2, ProcsPerNode: 2, PrestartNodes: 2})
+		main := rt.Start().Task
+		block := make(chan struct{})
+		var ths []*cables.Thread
+		rows = append(rows, measureOp(main, "local thread create", func() {
+			ths = append(ths, rt.Create(main, func(*cables.Thread) { <-block }))
+		}))
+		rows = append(rows, measureOp(main, "remote thread create", func() {
+			ths = append(ths, rt.Create(main, func(*cables.Thread) { <-block }))
+		}))
+		close(block)
+		for _, th := range ths {
+			rt.Join(main, th)
+		}
+	}
+
+	// --- Mutexes ---
+	{
+		rt := cables.New(cables.Config{MaxNodes: 2, ProcsPerNode: 2,
+			ThreadsPerNode: 1, PrestartNodes: 2})
+		main := rt.Start().Task
+		mx := rt.NewMutex(main)
+		rows = append(rows, measureOp(main, "local mutex lock (first time)", func() { mx.Lock(main) }))
+		rows = append(rows, measureOp(main, "mutex unlock", func() { mx.Unlock(main) }))
+		rows = append(rows, measureOp(main, "local mutex lock", func() { mx.Lock(main) }))
+		mx.Unlock(main)
+		// Remote: a thread on node 1 acquires a lock last held on node 0.
+		step := make(chan struct{})
+		var remoteFirst, remoteAgain row4
+		th := rt.Create(main, func(th *cables.Thread) {
+			remoteFirst = measureOp(th.Task, "remote mutex lock (first time)", func() { mx.Lock(th.Task) })
+			mx.Unlock(th.Task)
+			<-step // main re-takes the lock so it is again remote for us
+			remoteAgain = measureOp(th.Task, "remote mutex lock", func() { mx.Lock(th.Task) })
+			mx.Unlock(th.Task)
+		})
+		for rt.Cluster().Ctr.LockAcquires.Load() < 3 { // wait for first remote acquire
+			runtime.Gosched()
+		}
+		mx.Lock(main)
+		mx.Unlock(main)
+		step <- struct{}{}
+		rt.Join(main, th)
+		rows = append(rows, remoteFirst, remoteAgain)
+	}
+
+	// --- Condition variables ---
+	{
+		rt := cables.New(cables.Config{MaxNodes: 2, ProcsPerNode: 2,
+			ThreadsPerNode: 1, PrestartNodes: 2})
+		rt.Stats = &stats.OpStats{}
+		main := rt.Start().Task
+		mx := rt.NewMutex(main)
+		cond := rt.NewCond(main)
+		ready := make(chan struct{})
+		th := rt.Create(main, func(th *cables.Thread) {
+			mx.Lock(th.Task)
+			close(ready)
+			cond.Wait(th, mx)
+			mx.Unlock(th.Task)
+		})
+		<-ready
+		mx.Lock(main)
+		rows = append(rows, measureOp(main, "conditional signal", func() { cond.Signal(main) }))
+		mx.Unlock(main)
+		rt.Join(main, th)
+		// The wait's API overhead is recorded by the library itself,
+		// excluding blocking time and the mutex re-acquisition.
+		waitCost, _ := rt.Stats.Avg("cond_wait")
+		c := rt.Cluster().Costs
+		waitRow := row4{name: "conditional wait", total: waitCost}
+		waitRow.brk[sim.CatLocal] = c.CondWaitLocal
+		waitRow.brk[sim.CatComm] = c.CondWaitComm
+		rows = append(rows, waitRow)
+
+		// Broadcast with one remote waiter.
+		ready2 := make(chan struct{})
+		th2 := rt.Create(main, func(th *cables.Thread) {
+			mx.Lock(th.Task)
+			close(ready2)
+			cond.Wait(th, mx)
+			mx.Unlock(th.Task)
+		})
+		<-ready2
+		mx.Lock(main)
+		for rt.Cluster().Ctr.CondWaits.Load() < 2 {
+			runtime.Gosched()
+		}
+		rows = append(rows, measureOp(main, "conditional broadcast", func() { cond.Broadcast(main) }))
+		mx.Unlock(main)
+		rt.Join(main, th2)
+	}
+
+	// --- Barriers (GeNIMA native vs pthreads mutex+cond) ---
+	{
+		mrt := m4.New(m4.Config{Procs: 8, ProcsPerNode: 2, ArenaBytes: 16 << 20})
+		var natRow row4
+		bar := mrt.Protocol().NewBarrier("t4")
+		done := make(chan row4, 8)
+		for i := 0; i < 8; i++ {
+			mrt.Spawn(mrt.Main(), func(t *sim.Task) {
+				bar.Wait(t, 9)
+				done <- measureOp(t, "GeNIMA barrier", func() { bar.Wait(t, 9) })
+			})
+		}
+		bar.Wait(mrt.Main(), 9)
+		natRow = measureOp(mrt.Main(), "GeNIMA barrier", func() { bar.Wait(mrt.Main(), 9) })
+		for i := 0; i < 8; i++ {
+			<-done
+		}
+		natRow.total -= natRow.brk[sim.CatWait]
+		natRow.brk[sim.CatWait] = 0
+		rows = append(rows, natRow)
+
+		crt := cables.New(cables.Config{MaxNodes: 4, ProcsPerNode: 2, CoordinatorMain: true})
+		cmain := crt.Start()
+		cb, err := crt.NewCentralBarrier(cmain.Task, 8)
+		if err != nil {
+			panic(err)
+		}
+		ends := make(chan sim.Time, 8)
+		starts := make(chan sim.Time, 8)
+		var cths []*cables.Thread
+		for i := 0; i < 8; i++ {
+			cths = append(cths, crt.Create(cmain.Task, func(th *cables.Thread) {
+				crt.Barrier(th.Task, "align", 8)
+				starts <- th.Task.Now()
+				cb.Wait(th)
+				ends <- th.Task.Now()
+			}))
+		}
+		for _, th := range cths {
+			crt.Join(cmain.Task, th)
+		}
+		var maxStart, maxEnd sim.Time
+		for i := 0; i < 8; i++ {
+			if s := <-starts; s > maxStart {
+				maxStart = s
+			}
+			if e := <-ends; e > maxEnd {
+				maxEnd = e
+			}
+		}
+		rows = append(rows, row4{name: "pthreads barrier", total: maxEnd - maxStart})
+	}
+
+	// --- Segment operations and administration ---
+	{
+		rt := cables.New(cables.Config{MaxNodes: 2, ProcsPerNode: 2,
+			ThreadsPerNode: 1, PrestartNodes: 2})
+		main := rt.Start().Task
+		mem := rt.Mem()
+		sp := rt.Protocol().Space()
+		addr, err := mem.Malloc(main, 1<<20)
+		if err != nil {
+			panic(err)
+		}
+		unitPages := memsys.PageID(rt.Cluster().Costs.MapGranularity / memsys.PageSize)
+		pid := sp.PageOf(addr)
+		rows = append(rows, measureOp(main, "segment migration on ACB owner (first time)", func() {
+			mem.HomeFor(main, pid)
+		}))
+		rows = append(rows, measureOp(main, "segment owner detect on ACB owner", func() {
+			mem.HomeFor(main, pid)
+		}))
+		var migRow, detFirst, detAgain row4
+		th := rt.Create(main, func(th *cables.Thread) {
+			migRow = measureOp(th.Task, "segment migration (first time)", func() {
+				mem.HomeFor(th.Task, pid+unitPages)
+			})
+			detFirst = measureOp(th.Task, "segment owner detect (first time)", func() {
+				mem.HomeFor(th.Task, pid)
+			})
+			detAgain = measureOp(th.Task, "segment owner detect", func() {
+				mem.HomeFor(th.Task, pid)
+			})
+		})
+		rt.Join(main, th)
+		rows = append(rows, migRow, detFirst, detAgain)
+
+		var adminRow row4
+		th2 := rt.Create(main, func(th *cables.Thread) {
+			adminRow = measureOp(th.Task, "administration request", func() {
+				rt.KeyCreate(th.Task)
+			})
+		})
+		rt.Join(main, th2)
+		rows = append(rows, adminRow)
+	}
+
+	tab := stats.NewTable("CableS Mechanism", "Total",
+		"Local CableS", "Remote CableS", "Local OS", "Communication")
+	cell := func(d sim.Time) string {
+		if d == 0 {
+			return "-"
+		}
+		return d.String()
+	}
+	for _, r := range rows {
+		tab.AddRow(r.name, r.total.String(),
+			cell(r.brk[sim.CatLocal]), cell(r.brk[sim.CatRemote]),
+			cell(r.brk[sim.CatLocalOS]), cell(r.brk[sim.CatComm]))
+	}
+	if w != nil {
+		fprintf(w, "Table 4: CableS execution times for the basic events\n%s\n", tab)
+	}
+	return tab
+}
+
+// Table5 regenerates the paper's Table 5: the pthreads programs (PN, PC,
+// PIPE and the OpenMP SPLASH-2 programs) with the average execution time of
+// each pthreads API operation during the run.
+func Table5(w io.Writer, scale Scale) *stats.Table {
+	newRT := func(nodes int) *cables.Runtime {
+		return cables.New(cables.Config{MaxNodes: nodes, ProcsPerNode: 2})
+	}
+	limit, items := 20000, 300
+	ompM, ompN := 12, 128
+	if scale == ScalePaper {
+		limit, items = 100000, 1000
+		ompM, ompN = 14, 192
+	}
+
+	var progs []misc.ProgResult
+	progs = append(progs, misc.RunPN(newRT(4), limit, 7))
+	progs = append(progs, misc.RunPC(newRT(1), items))
+	progs = append(progs, misc.RunPIPE(newRT(4), 6, items))
+
+	runOMP := func(name string, f func(r *openmp.Runtime) float64) misc.ProgResult {
+		r := openmp.New(openmp.Config{Procs: 8, ProcsPerNode: 2})
+		r.Stats = &stats.OpStats{}
+		f(r)
+		return misc.ProgResult{Name: name, Total: r.Finish(), Stats: r.Stats}
+	}
+	progs = append(progs, runOMP("OMP FFT", func(r *openmp.Runtime) float64 {
+		return omp.FFT(r, ompM).Checksum
+	}))
+	progs = append(progs, runOMP("OMP LU", func(r *openmp.Runtime) float64 {
+		return omp.LU(r, ompN).Checksum
+	}))
+	progs = append(progs, runOMP("OMP OCEAN", func(r *openmp.Runtime) float64 {
+		return omp.Ocean(r, ompN, 2).Checksum
+	}))
+
+	cols := []string{"create", "join", "mutex_lock", "mutex_unlock",
+		"cond_wait", "cond_signal", "cond_broadcast", "barrier", "cancel"}
+	tab := stats.NewTable(append([]string{"PROGRAM", "Total"}, cols...)...)
+	for _, p := range progs {
+		row := []string{p.Name, p.Total.String()}
+		for _, op := range cols {
+			avg, n := p.Stats.Avg(op)
+			if n == 0 {
+				row = append(row, "-")
+			} else {
+				row = append(row, fmt.Sprintf("%v", avg))
+			}
+		}
+		tab.AddRow(row...)
+	}
+	if w != nil {
+		fprintf(w, "Table 5: pthreads programs, average per-operation cost\n%s\n", tab)
+	}
+	return tab
+}
+
+// Table6 regenerates the paper's Table 6: speedups of the three OpenMP
+// SPLASH-2 programs on 4, 8 and 16 processors (SMP-style codes with naive
+// placement, hence the modest numbers).
+func Table6(w io.Writer, scale Scale) *stats.Table {
+	m, n := 12, 128
+	iters := 2
+	if scale == ScalePaper {
+		m, n = 16, 384
+	}
+	procsList := []int{1, 4, 8, 16}
+
+	type appRun struct {
+		name string
+		run  func(r *openmp.Runtime) sim.Time
+	}
+	apps := []appRun{
+		{"FFT", func(r *openmp.Runtime) sim.Time { return omp.FFT(r, m).Parallel }},
+		{"LU", func(r *openmp.Runtime) sim.Time { return omp.LU(r, n).Parallel }},
+		{"OCEAN", func(r *openmp.Runtime) sim.Time { return omp.Ocean(r, n, iters).Parallel }},
+	}
+
+	tab := stats.NewTable("PROGRAM", "4 procs.", "8 procs.", "16 procs.")
+	for _, a := range apps {
+		times := map[int]sim.Time{}
+		for _, p := range procsList {
+			r := openmp.New(openmp.Config{Procs: p, ProcsPerNode: 2})
+			times[p] = a.run(r)
+		}
+		row := []string{a.name}
+		for _, p := range procsList[1:] {
+			row = append(row, fmt.Sprintf("%.2f", float64(times[1])/float64(times[p])))
+		}
+		tab.AddRow(row...)
+	}
+	if w != nil {
+		fprintf(w, "Table 6: OpenMP SPLASH-2 speedups on CableS\n%s\n", tab)
+	}
+	return tab
+}

@@ -1,0 +1,461 @@
+// Package cables implements the paper's contribution: CableS (Cluster
+// enabled threadS), a pthreads programming interface for SVM clusters with
+//
+//   - dynamic thread management: threads may be created and destroyed at any
+//     time; nodes are attached to the application on demand and detached when
+//     empty (§2.2);
+//   - dynamic global memory management: shared memory can be allocated and
+//     freed throughout execution, with first-touch home placement at the
+//     OS mapping granularity, a global segment directory kept in the ACB,
+//     migration mechanisms, and double virtual mappings that keep NIC
+//     registration to one region per node (§2.1.3);
+//   - modern synchronization: mutexes on system locks, condition variables,
+//     and a pthread_barrier extension (§2.3);
+//   - transparent global static variables (the GLOBAL quantifier region).
+//
+// The coherence machinery underneath is the same home-based release-
+// consistent protocol as the base system (package genima); CableS replaces
+// its placement, registration and management layers.
+package cables
+
+import (
+	"fmt"
+	"sync"
+
+	"cables/internal/genima"
+	"cables/internal/memsys"
+	"cables/internal/nodeos"
+	"cables/internal/sim"
+	"cables/internal/stats"
+)
+
+// Config selects the cluster shape and CableS policies.
+type Config struct {
+	// MaxNodes is the cluster size available for on-demand attach.
+	MaxNodes int
+	// ProcsPerNode is the SMP width (paper: 2).
+	ProcsPerNode int
+	// ThreadsPerNode is the maximum threads placed on a node before a new
+	// node is attached (paper: "when threads exceed a maximum number, a new
+	// node is attached"); defaults to ProcsPerNode.
+	ThreadsPerNode int
+	// ArenaBytes is the shared arena size (default 256 MB).
+	ArenaBytes int64
+	// GlobalDataBytes reserves the GLOBAL static-variable region (default 1 MB).
+	GlobalDataBytes int64
+	// Costs optionally overrides the cost table.
+	Costs *sim.Costs
+	// PrestartNodes attaches this many nodes at Start (default 1: only the
+	// master; others attach on demand).
+	PrestartNodes int
+	// Placement overrides home placement: "firsttouch" (default) or
+	// "roundrobin" (ablation).
+	Placement string
+	// CoordinatorMain marks the main thread as a pure coordinator that
+	// spends the run blocked in joins: it does not occupy a scheduling slot
+	// when placing new threads (the SPLASH CREATE/WAIT_FOR_END template).
+	CoordinatorMain bool
+}
+
+// Runtime is one CableS application instance.
+type Runtime struct {
+	cl    *nodeos.Cluster
+	proto *genima.Protocol
+	cfg   Config
+	mem   *MemManager
+	acb   *ACB
+	main  *Thread
+
+	// Stats, when set, receives per-operation cost records from the
+	// library itself (used by the Table 4 microbenchmarks to report API
+	// overheads separated from blocking time).
+	Stats *stats.OpStats
+}
+
+// Thread is a pthread: a simulated task plus CableS bookkeeping.
+type Thread struct {
+	// Task is the simulated execution context; pass it to memory accessors.
+	Task *sim.Task
+	// TID is the application-wide pthread identifier.
+	TID int
+
+	rt   *Runtime
+	done chan struct{}
+	end  sim.Time
+	ret  any
+
+	cancelCh   chan struct{}
+	cancelOnce sync.Once
+
+	keyMu sync.Mutex
+	keys  map[int]any
+}
+
+// ACB is the application control block: the per-application global state
+// kept on the master node and updated via direct remote operations (§2.2).
+type ACB struct {
+	masterNode int
+
+	mu         sync.Mutex
+	threads    map[int]*Thread
+	liveOnNode []int
+	attached   []bool
+	numAttach  int
+	nextTID    int
+	rrNode     int
+	endMax     sim.Time
+	nextLockID int
+	nextKey    int
+}
+
+// New creates a CableS runtime.  Call Start to obtain the main thread
+// (the pthread_start() of the paper's programming model, Figure 4).
+func New(cfg Config) *Runtime {
+	if cfg.MaxNodes <= 0 {
+		cfg.MaxNodes = 16
+	}
+	if cfg.ProcsPerNode <= 0 {
+		cfg.ProcsPerNode = 2
+	}
+	if cfg.ThreadsPerNode <= 0 {
+		cfg.ThreadsPerNode = cfg.ProcsPerNode
+	}
+	if cfg.ArenaBytes <= 0 {
+		cfg.ArenaBytes = 256 << 20
+	}
+	if cfg.GlobalDataBytes <= 0 {
+		cfg.GlobalDataBytes = 1 << 20
+	}
+	if cfg.PrestartNodes <= 0 {
+		cfg.PrestartNodes = 1
+	}
+	cl := nodeos.NewCluster(nodeos.Config{
+		NumNodes:     cfg.MaxNodes,
+		ProcsPerNode: cfg.ProcsPerNode,
+		Costs:        cfg.Costs,
+	})
+	rt := &Runtime{cl: cl, cfg: cfg}
+	rt.acb = &ACB{
+		masterNode: 0,
+		threads:    make(map[int]*Thread),
+		liveOnNode: make([]int, cfg.MaxNodes),
+		attached:   make([]bool, cfg.MaxNodes),
+	}
+	rt.mem = newMemManager(rt)
+	rt.proto = genima.New(cl, cfg.ArenaBytes, rt.mem)
+	rt.mem.bind(rt.proto.Space())
+	return rt
+}
+
+// Cluster exposes the simulated machine.
+func (rt *Runtime) Cluster() *nodeos.Cluster { return rt.cl }
+
+// Protocol exposes the underlying SVM protocol (statistics, tests).
+func (rt *Runtime) Protocol() *genima.Protocol { return rt.proto }
+
+// Acc returns the shared-memory accessor.
+func (rt *Runtime) Acc() *memsys.Accessor { return rt.proto.Accessor() }
+
+// Mem returns the dynamic memory manager.
+func (rt *Runtime) Mem() *MemManager { return rt.mem }
+
+// Start initializes the application on the master node and returns the main
+// thread (pthread_start()).
+func (rt *Runtime) Start() *Thread {
+	if rt.main != nil {
+		return rt.main
+	}
+	rt.acb.mu.Lock()
+	rt.acb.attached[0] = true
+	rt.acb.numAttach = 1
+	rt.acb.nextTID = 1
+	rt.acb.mu.Unlock()
+	rt.cl.Nodes[0].SetAttached(true)
+
+	task := rt.cl.NewTask(0, 0)
+	rt.main = &Thread{
+		Task: task, TID: 0, rt: rt,
+		done: make(chan struct{}), cancelCh: make(chan struct{}),
+	}
+	rt.acb.mu.Lock()
+	rt.acb.threads[0] = rt.main
+	if !rt.cfg.CoordinatorMain {
+		rt.acb.liveOnNode[0]++
+	}
+	rt.acb.mu.Unlock()
+	rt.cl.Nodes[0].ThreadStarted()
+
+	rt.mem.initNode(task, 0)
+	rt.mem.initGlobalData(task, rt.cfg.GlobalDataBytes)
+	for n := 1; n < rt.cfg.PrestartNodes && n < rt.cfg.MaxNodes; n++ {
+		rt.attachNode(task, n)
+	}
+	return rt.main
+}
+
+// Main returns the main thread (valid after Start).
+func (rt *Runtime) Main() *Thread { return rt.main }
+
+// chargeAdmin charges an ACB administration request: cheap on the master
+// node, one round trip otherwise (Table 4, "administration request").
+func (rt *Runtime) chargeAdmin(t *sim.Task) {
+	c := rt.cl.Costs
+	t.Charge(sim.CatLocal, c.AdminReqLocal)
+	if t.NodeID != rt.acb.masterNode {
+		t.Charge(sim.CatComm, c.AdminReqComm)
+	}
+	rt.cl.Ctr.AdminRequests.Add(1)
+}
+
+// attachNode introduces node into the application: the master creates a
+// remote process, the new node initializes and maps all existing global
+// memory, and the master broadcasts its existence (§2.2 case ii).
+// Caller must NOT hold acb.mu.
+func (rt *Runtime) attachNode(t *sim.Task, node int) {
+	c := rt.cl.Costs
+	// Charged sequential chain (sums to the observed 3690 ms total).
+	t.Charge(sim.CatLocal, c.AttachLocal)
+	t.Charge(sim.CatLocalOS, c.AttachLocalOS)
+	t.Charge(sim.CatComm, c.AttachComm)
+	t.Charge(sim.CatRemote, c.AttachRemote)
+	// The remote process creation overlaps the above (paper: breakdowns "will
+	// not exactly add up to the total"); attribute without advancing.
+	t.Attribute(sim.CatRemoteOS, c.AttachRemoteOS)
+
+	rt.mem.initNode(t, node)
+
+	rt.acb.mu.Lock()
+	rt.acb.attached[node] = true
+	rt.acb.numAttach++
+	rt.acb.mu.Unlock()
+	rt.cl.Nodes[node].SetAttached(true)
+	rt.cl.Ctr.NodesAttached.Add(1)
+}
+
+// AttachNode explicitly attaches the next unattached node to the
+// application (applications may also warm nodes up front; thread creation
+// attaches nodes implicitly).  Returns the node id.
+func (rt *Runtime) AttachNode(t *sim.Task) (int, error) {
+	rt.acb.mu.Lock()
+	node := -1
+	for n := 0; n < rt.cfg.MaxNodes; n++ {
+		if !rt.acb.attached[n] {
+			node = n
+			break
+		}
+	}
+	rt.acb.mu.Unlock()
+	if node < 0 {
+		return -1, errf("cables: no unattached node available")
+	}
+	rt.attachNode(t, node)
+	return node, nil
+}
+
+// pickNode chooses the node for a new thread: round-robin over attached
+// nodes, attaching a fresh node when all attached nodes are at the
+// ThreadsPerNode limit.  Returns the node and whether attach is required.
+func (rt *Runtime) pickNode() (node int, needAttach bool) {
+	a := rt.acb
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	live := 0
+	for n := 0; n < rt.cfg.MaxNodes; n++ {
+		if a.attached[n] {
+			live += a.liveOnNode[n]
+		}
+	}
+	if live+1 > a.numAttach*rt.cfg.ThreadsPerNode {
+		for n := 0; n < rt.cfg.MaxNodes; n++ {
+			if !a.attached[n] {
+				a.attached[n] = true // reserve; attach completes outside
+				a.numAttach++
+				a.liveOnNode[n]++
+				return n, true
+			}
+		}
+	}
+	for i := 0; i < rt.cfg.MaxNodes; i++ {
+		n := (a.rrNode + i) % rt.cfg.MaxNodes
+		if a.attached[n] && a.liveOnNode[n] < rt.cfg.ThreadsPerNode {
+			a.rrNode = (n + 1) % rt.cfg.MaxNodes
+			a.liveOnNode[n]++
+			return n, false
+		}
+	}
+	// Every attached node is full and no node is left: overload round-robin.
+	n := a.rrNode % rt.cfg.MaxNodes
+	for !a.attached[n] {
+		n = (n + 1) % rt.cfg.MaxNodes
+	}
+	a.rrNode = (n + 1) % rt.cfg.MaxNodes
+	a.liveOnNode[n]++
+	return n, false
+}
+
+// Create starts a new pthread running fn (pthread_create).  Placement and
+// costs follow §2.2: local create, remote create on an attached node, or
+// node attach.
+func (rt *Runtime) Create(parent *sim.Task, fn func(th *Thread)) *Thread {
+	parent.CancelPoint()
+	// Thread creation has release semantics: the parent's writes must be
+	// visible to the child (POSIX 4.12).
+	rt.proto.Flush(parent)
+	c := rt.cl.Costs
+	node, needAttach := rt.pickNode()
+	if needAttach {
+		rt.acb.mu.Lock()
+		rt.acb.attached[node] = false // attachNode re-marks under its own charges
+		rt.acb.numAttach--
+		rt.acb.mu.Unlock()
+		rt.attachNode(parent, node)
+	}
+
+	switch {
+	case node == parent.NodeID:
+		parent.Charge(sim.CatLocal, c.ThreadCreateLocal)
+		parent.Charge(sim.CatLocalOS, c.OSThreadCreate)
+	default:
+		parent.Charge(sim.CatLocal, c.ThreadCreateReqLocal)
+		parent.Charge(sim.CatRemote, c.ThreadCreateReqRemote)
+		parent.Charge(sim.CatComm, c.ThreadCreateComm)
+		parent.Charge(sim.CatRemoteOS, c.OSRemoteThreadCreate)
+	}
+
+	a := rt.acb
+	a.mu.Lock()
+	tid := a.nextTID
+	a.nextTID++
+	th := &Thread{
+		Task:     rt.cl.NewTask(node, parent.Now()),
+		TID:      tid,
+		rt:       rt,
+		done:     make(chan struct{}),
+		cancelCh: make(chan struct{}),
+	}
+	a.threads[tid] = th
+	a.mu.Unlock()
+
+	rt.cl.Ctr.ThreadsCreated.Add(1)
+	rt.cl.Nodes[node].ThreadStarted()
+	go th.run(fn)
+	return th
+}
+
+// run executes the thread body, handling cancellation unwinds and exit
+// bookkeeping (including node detach when a node empties, §2.2).
+func (th *Thread) run(fn func(*Thread)) {
+	defer func() {
+		r := recover()
+		if r != nil && r != sim.ErrCanceled {
+			panic(r)
+		}
+		th.finish()
+	}()
+	th.rt.proto.ApplyAcquire(th.Task) // acquire the parent's pre-create writes
+	fn(th)
+}
+
+func (th *Thread) finish() {
+	rt := th.rt
+	// Thread exit has release semantics: a joiner must see its writes.
+	rt.proto.Flush(th.Task)
+	node := th.Task.NodeID
+	rt.cl.Nodes[node].ThreadStopped()
+	a := rt.acb
+	a.mu.Lock()
+	a.liveOnNode[node]--
+	if th.Task.Now() > a.endMax {
+		a.endMax = th.Task.Now()
+	}
+	empty := a.liveOnNode[node] == 0 && node != a.masterNode
+	if empty && a.attached[node] {
+		// Dynamic detach: the node leaves the application when no threads
+		// remain on it (mechanism per §2.2).
+		a.attached[node] = false
+		a.numAttach--
+		rt.cl.Nodes[node].SetAttached(false)
+	}
+	a.mu.Unlock()
+	th.end = th.Task.Now()
+	close(th.done)
+}
+
+// Join blocks the caller until th finishes (pthread_join), merging clocks
+// and reading completion state from the ACB.
+func (rt *Runtime) Join(t *sim.Task, th *Thread) {
+	t.CancelPoint()
+	// The joining thread blocks in the OS and releases its processor.
+	node := rt.cl.Nodes[t.NodeID]
+	node.ThreadStopped()
+	<-th.done
+	node.ThreadStarted()
+	rt.chargeAdmin(t)
+	t.WaitUntil(th.end)
+	rt.proto.ApplyAcquire(t) // join has acquire semantics
+}
+
+// Cancel requests cancellation of th (pthread_cancel); the thread unwinds
+// at its next cancellation point.
+func (rt *Runtime) Cancel(t *sim.Task, th *Thread) {
+	rt.chargeAdmin(t)
+	th.Task.Cancel()
+	th.cancelOnce.Do(func() { close(th.cancelCh) })
+}
+
+// KeyCreate allocates a thread-specific-data key (pthread_key_create).
+func (rt *Runtime) KeyCreate(t *sim.Task) int {
+	rt.chargeAdmin(t)
+	a := rt.acb
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.nextKey++
+	return a.nextKey
+}
+
+// SetSpecific stores thread-specific data (pthread_setspecific).
+func (th *Thread) SetSpecific(key int, v any) {
+	th.keyMu.Lock()
+	defer th.keyMu.Unlock()
+	if th.keys == nil {
+		th.keys = make(map[int]any)
+	}
+	th.keys[key] = v
+}
+
+// GetSpecific retrieves thread-specific data (pthread_getspecific).
+func (th *Thread) GetSpecific(key int) any {
+	th.keyMu.Lock()
+	defer th.keyMu.Unlock()
+	return th.keys[key]
+}
+
+// AttachedNodes reports how many nodes the application currently spans.
+func (rt *Runtime) AttachedNodes() int {
+	rt.acb.mu.Lock()
+	defer rt.acb.mu.Unlock()
+	return rt.acb.numAttach
+}
+
+// End declares the application over (pthread_end) and returns the virtual
+// end time (max over all threads).
+func (rt *Runtime) End(t *sim.Task) sim.Time {
+	a := rt.acb
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if t.Now() > a.endMax {
+		a.endMax = t.Now()
+	}
+	return a.endMax
+}
+
+// newLockID allocates a cluster-wide lock identifier from the ACB.
+func (rt *Runtime) newLockID() int {
+	a := rt.acb
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.nextLockID++
+	return a.nextLockID
+}
+
+func errf(format string, args ...any) error { return fmt.Errorf(format, args...) }

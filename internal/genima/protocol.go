@@ -1,0 +1,416 @@
+// Package genima implements the base shared-virtual-memory protocol the
+// paper builds CableS on: GeNIMA, a home-based, page-level protocol with
+// release consistency over VMMC direct remote operations.
+//
+// Pages have a home node holding the primary copy.  Writers on other nodes
+// capture a twin at the first write of an interval; at a release (lock
+// release or barrier arrival) the node's dirty pages are diffed against
+// their twins and the diffs applied to the homes with direct remote writes —
+// no remote-processor involvement, exactly the property GeNIMA exploits on
+// Myrinet.  Write notices are published through a totally ordered interval
+// log; at an acquire a node invalidates every non-home page named by
+// intervals it has not yet seen (a conservative variant of lazy release
+// consistency — safe, never weaker; see DESIGN.md §5/§7).
+package genima
+
+import (
+	"fmt"
+	"sync"
+
+	"cables/internal/memsys"
+	"cables/internal/nodeos"
+	"cables/internal/sim"
+	"cables/internal/trace"
+)
+
+// Placement decides the home of a page on its first touch.  The base system
+// uses per-page first touch (the faulting node); CableS substitutes map-unit
+// granularity first touch with directory bookkeeping.
+type Placement interface {
+	HomeFor(t *sim.Task, pid memsys.PageID) int
+}
+
+// FirstTouch is the base system's placement: the faulting node becomes home.
+type FirstTouch struct{}
+
+// HomeFor returns the faulting node.
+func (FirstTouch) HomeFor(t *sim.Task, _ memsys.PageID) int { return t.NodeID }
+
+// interval is one flushed write interval: the pages node dirtied.
+type interval struct {
+	node  int
+	pages []memsys.PageID
+}
+
+// nodeState is the protocol's per-node bookkeeping.
+type nodeState struct {
+	dirtyMu sync.Mutex
+	dirty   map[memsys.PageID]struct{}
+
+	syncMu sync.Mutex // serializes acquire-side invalidation passes
+	seen   int        // prefix of the interval log already applied
+}
+
+// Protocol is one application's SVM protocol instance.
+type Protocol struct {
+	cl    *nodeos.Cluster
+	sp    *memsys.Space
+	acc   *memsys.Accessor
+	place Placement
+
+	logMu sync.RWMutex
+	log   []interval
+
+	nodes []*nodeState
+
+	// OnRemoteFault, if set, observes every remotely-served page fault
+	// (node that faulted, page).  CableS's migration policy counts these.
+	OnRemoteFault func(node int, pid memsys.PageID)
+
+	// Trace, if set, receives protocol events (faults, diffs,
+	// invalidations, synchronization) with virtual timestamps.
+	Trace *trace.Ring
+
+	lockMu sync.Mutex
+	locks  map[int]*SysLock
+
+	barMu sync.Mutex
+	bars  map[string]*Barrier
+}
+
+// New creates a protocol instance over the cluster with a fresh shared
+// address space of arenaBytes.  place may be nil for base first touch.
+func New(cl *nodeos.Cluster, arenaBytes int64, place Placement) *Protocol {
+	p := &Protocol{
+		cl:    cl,
+		sp:    memsys.NewSpace(cl.NumNodes(), arenaBytes),
+		place: place,
+		nodes: make([]*nodeState, cl.NumNodes()),
+		locks: make(map[int]*SysLock),
+		bars:  make(map[string]*Barrier),
+	}
+	if p.place == nil {
+		p.place = FirstTouch{}
+	}
+	for i := range p.nodes {
+		p.nodes[i] = &nodeState{dirty: make(map[memsys.PageID]struct{})}
+	}
+	p.acc = memsys.NewAccessor(p.sp, p)
+	return p
+}
+
+// SetPlacement replaces the placement policy (must be called before any
+// shared accesses).
+func (p *Protocol) SetPlacement(pl Placement) { p.place = pl }
+
+// Space returns the protocol's shared address space.
+func (p *Protocol) Space() *memsys.Space { return p.sp }
+
+// Accessor returns the application-facing memory accessor.
+func (p *Protocol) Accessor() *memsys.Accessor { return p.acc }
+
+// Cluster returns the underlying cluster.
+func (p *Protocol) Cluster() *nodeos.Cluster { return p.cl }
+
+// homeOf resolves (possibly placing) the home of pid for a fault by t.
+func (p *Protocol) homeOf(t *sim.Task, pid memsys.PageID) int {
+	p.sp.RecordToucher(pid, t.NodeID)
+	if h := p.sp.Home(pid); h >= 0 {
+		return h
+	}
+	want := p.place.HomeFor(t, pid)
+	h, _ := p.sp.TryFirstTouch(pid, want)
+	return h
+}
+
+// validate makes t's node copy of pid readable, fetching from the home when
+// the home is remote.  Returns the (locked-free) copy.
+func (p *Protocol) validate(t *sim.Task, pid memsys.PageID) *memsys.PageCopy {
+	ctr := p.cl.Ctr
+	costs := p.cl.Costs
+	ctr.PageFaults.Add(1)
+	t.Charge(sim.CatLocal, costs.FaultHandler)
+	if p.Trace != nil {
+		p.Trace.Add(t.Now(), t.NodeID, trace.KindFault, uint64(pid))
+	}
+
+	home := p.homeOf(t, pid)
+	pc := p.sp.Copy(t.NodeID, pid)
+	pc.Mu.Lock()
+	defer pc.Mu.Unlock()
+	if pc.Valid() {
+		return pc // raced with another thread's fault; already resolved
+	}
+	if home == t.NodeID {
+		pc.EnsureData()
+		pc.SetValid(true)
+		return pc
+	}
+	// Remote home: make sure the primary copy exists, then fetch it.  The
+	// home node's flush lock is held exclusively for the copy so the DMA
+	// reads a stable page image (home-node threads store under the shared
+	// side of that lock).  No cycle is possible: a path only ever pairs
+	// node N's flush lock with page copies on N or with the unique home
+	// copy of a page homed elsewhere.
+	p.acc.FlushBegin(home)
+	hc := p.sp.Copy(home, pid)
+	hc.Mu.Lock()
+	if !hc.Valid() {
+		hc.EnsureData()
+		hc.SetValid(true)
+	}
+	// Fetch into a fresh array and swap it in: readers that raced past the
+	// validity check keep the array their own acquire justified.
+	data := make([]byte, memsys.PageSize)
+	copy(data, hc.Data())
+	pc.ReplaceData(data)
+	hc.Mu.Unlock()
+	p.acc.FlushEnd(home)
+	p.cl.VMMC.Fetch(t, home, memsys.PageSize)
+	ctr.RemotePageFaults.Add(1)
+	if p.OnRemoteFault != nil {
+		p.OnRemoteFault(t.NodeID, pid)
+	}
+	if p.Trace != nil {
+		p.Trace.Add(t.Now(), t.NodeID, trace.KindRemoteFill, uint64(pid))
+	}
+	pc.SetValid(true)
+	return pc
+}
+
+// ReadFault implements memsys.FaultHandler.
+func (p *Protocol) ReadFault(t *sim.Task, pid memsys.PageID) {
+	t.CancelPoint()
+	p.validate(t, pid)
+}
+
+// WriteFault implements memsys.FaultHandler: validates the page and opens a
+// write interval on it (twin capture on non-home nodes).
+func (p *Protocol) WriteFault(t *sim.Task, pid memsys.PageID) {
+	t.CancelPoint()
+	pc := p.validate(t, pid)
+	pc.Mu.Lock()
+	if !pc.Written() {
+		if p.sp.Home(pid) != t.NodeID {
+			twin := make([]byte, memsys.PageSize)
+			copy(twin, pc.Data())
+			pc.Twin = twin
+			t.Charge(sim.CatLocal, sim.Time(memsys.PageSize)) // twin copy
+		}
+		pc.SetWritten(true)
+		ns := p.nodes[t.NodeID]
+		ns.dirtyMu.Lock()
+		ns.dirty[pid] = struct{}{}
+		ns.dirtyMu.Unlock()
+	}
+	pc.Mu.Unlock()
+}
+
+// Flush ends the node's current write interval: every dirty page is diffed
+// and the diff applied to its home with a direct remote write; the interval
+// is published to the log.  Called at releases and barrier arrivals.
+func (p *Protocol) Flush(t *sim.Task) {
+	node := t.NodeID
+	ns := p.nodes[node]
+
+	ns.dirtyMu.Lock()
+	if len(ns.dirty) == 0 {
+		ns.dirtyMu.Unlock()
+		return
+	}
+	dirty := ns.dirty
+	ns.dirty = make(map[memsys.PageID]struct{})
+	ns.dirtyMu.Unlock()
+
+	p.acc.FlushBegin(node)
+	pages := make([]memsys.PageID, 0, len(dirty))
+	for pid := range dirty {
+		if p.flushPage(t, node, pid) {
+			pages = append(pages, pid)
+		}
+	}
+	p.acc.FlushEnd(node)
+
+	if len(pages) > 0 {
+		p.logMu.Lock()
+		p.log = append(p.log, interval{node: node, pages: pages})
+		p.logMu.Unlock()
+		p.cl.Ctr.WriteNotices.Add(int64(len(pages)))
+	}
+}
+
+// flushPage diffs one dirty page to its home.  Returns whether the page was
+// actually modified (and so needs a write notice).
+func (p *Protocol) flushPage(t *sim.Task, node int, pid memsys.PageID) bool {
+	pc := p.sp.Copy(node, pid)
+	pc.Mu.Lock()
+	defer pc.Mu.Unlock()
+	if !pc.Written() {
+		return false
+	}
+	home := p.sp.Home(pid)
+	if home == node {
+		// Home writes are already in place; only a notice is needed.
+		pc.SetWritten(false)
+		return true
+	}
+	if pc.Twin == nil || pc.Data() == nil {
+		pc.SetWritten(false)
+		return false
+	}
+	diffBytes := 0
+	hc := p.sp.Copy(home, pid)
+	hc.Mu.Lock()
+	hd := hc.EnsureData()
+	pd := pc.Data()
+	for i := 0; i < memsys.PageSize; i++ {
+		if pd[i] != pc.Twin[i] {
+			hd[i] = pd[i]
+			diffBytes++
+		}
+	}
+	hc.SetValid(true)
+	hc.Mu.Unlock()
+	pc.Twin = nil
+	pc.SetWritten(false)
+	if diffBytes == 0 {
+		return false
+	}
+	t.Charge(sim.CatLocal, p.cl.Costs.DiffTime(diffBytes))
+	p.cl.VMMC.RemoteWrite(t, home, diffBytes+16)
+	p.cl.Ctr.DiffsSent.Add(1)
+	p.cl.Ctr.DiffBytes.Add(int64(diffBytes))
+	if p.Trace != nil {
+		p.Trace.Add(t.Now(), node, trace.KindDiff, uint64(pid))
+	}
+	return true
+}
+
+// ApplyAcquire brings the node up to date with the interval log: all pages
+// written by other nodes since the node's last acquire are invalidated
+// (dirty local copies are force-flushed first so no local writes are lost).
+// Called after obtaining a lock or leaving a barrier.
+func (p *Protocol) ApplyAcquire(t *sim.Task) {
+	node := t.NodeID
+	ns := p.nodes[node]
+	ns.syncMu.Lock()
+	defer ns.syncMu.Unlock()
+
+	p.logMu.RLock()
+	end := len(p.log)
+	pending := p.log[ns.seen:end]
+	p.logMu.RUnlock()
+	if len(pending) == 0 {
+		return
+	}
+
+	notices := 0
+	var invalidate []memsys.PageID
+	for _, iv := range pending {
+		if iv.node == node {
+			continue
+		}
+		for _, pid := range iv.pages {
+			if p.sp.Home(pid) != node {
+				invalidate = append(invalidate, pid)
+			}
+			notices++
+		}
+	}
+	if len(invalidate) > 0 {
+		p.acc.FlushBegin(node)
+		for _, pid := range invalidate {
+			pc := p.sp.Copy(node, pid)
+			pc.Mu.Lock()
+			if pc.Written() {
+				// Force the local interval's diff out before dropping the
+				// copy, so concurrent false sharing cannot lose writes.
+				p.forceDiffLocked(t, node, pid, pc)
+			}
+			if pc.Valid() {
+				pc.SetValid(false)
+				p.cl.Ctr.Invalidations.Add(1)
+				if p.Trace != nil {
+					p.Trace.Add(t.Now(), node, trace.KindInvalidate, uint64(pid))
+				}
+			}
+			pc.Twin = nil
+			pc.Mu.Unlock()
+		}
+		p.acc.FlushEnd(node)
+	}
+	ns.seen = end
+	t.Charge(sim.CatLocal, p.cl.Costs.WriteNotice*sim.Time(notices))
+}
+
+// forceDiffLocked flushes one page's diff with pc.Mu already held.
+func (p *Protocol) forceDiffLocked(t *sim.Task, node int, pid memsys.PageID, pc *memsys.PageCopy) {
+	home := p.sp.Home(pid)
+	if home == node || pc.Twin == nil {
+		pc.SetWritten(false)
+		return
+	}
+	diffBytes := 0
+	hc := p.sp.Copy(home, pid)
+	hc.Mu.Lock()
+	hd := hc.EnsureData()
+	pd := pc.Data()
+	for i := 0; i < memsys.PageSize; i++ {
+		if pd[i] != pc.Twin[i] {
+			hd[i] = pd[i]
+			diffBytes++
+		}
+	}
+	hc.SetValid(true)
+	hc.Mu.Unlock()
+	pc.SetWritten(false)
+	ns := p.nodes[node]
+	ns.dirtyMu.Lock()
+	delete(ns.dirty, pid)
+	ns.dirtyMu.Unlock()
+	if diffBytes > 0 {
+		t.Charge(sim.CatLocal, p.cl.Costs.DiffTime(diffBytes))
+		p.cl.VMMC.RemoteWrite(t, home, diffBytes+16)
+		p.cl.Ctr.DiffsSent.Add(1)
+		p.cl.Ctr.DiffBytes.Add(int64(diffBytes))
+	}
+}
+
+// PublishInvalidate appends a synthetic write notice for pid attributed to
+// node, so every other node drops its copy at its next acquire.  Used by
+// the CableS page-migration mechanism.
+func (p *Protocol) PublishInvalidate(node int, pid memsys.PageID) {
+	p.logMu.Lock()
+	p.log = append(p.log, interval{node: node, pages: []memsys.PageID{pid}})
+	p.logMu.Unlock()
+}
+
+// Alloc carves a shared segment and, in the base system, statically
+// registers it with every node's NIC (export on the segment's backing node
+// plus an import entry per peer).  This is the registration pattern whose
+// resource consumption CableS eliminates (Tables 1 and 2).
+func (p *Protocol) Alloc(t *sim.Task, label string, size int64) (memsys.Addr, error) {
+	a, err := p.sp.AllocSegment(label, size, memsys.PageSize)
+	if err != nil {
+		return 0, err
+	}
+	n := p.cl.NumNodes()
+	for node := 0; node < n; node++ {
+		nic := p.cl.VMMC.NIC(node)
+		if _, err := nic.Register(label, size, true, false); err != nil {
+			return 0, fmt.Errorf("genima: static registration failed: %w", err)
+		}
+		for peer := 0; peer < n; peer++ {
+			if peer == node {
+				continue
+			}
+			if _, err := nic.Register(label+"#import", 0, false, false); err != nil {
+				return 0, fmt.Errorf("genima: static registration failed: %w", err)
+			}
+		}
+		if t != nil {
+			t.Charge(sim.CatLocalOS, p.cl.Costs.OSMapSegment)
+		}
+	}
+	return a, nil
+}

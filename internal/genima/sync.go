@@ -1,0 +1,212 @@
+package genima
+
+import (
+	"fmt"
+	"sync"
+
+	"cables/internal/sim"
+	"cables/internal/trace"
+)
+
+// SysLock is a GeNIMA system lock: a cluster-wide mutual-exclusion primitive
+// whose state lives on a manager node and is transferred with direct remote
+// operations.  CableS implements pthread mutexes directly on system locks
+// (§2.3) and the protocol uses them internally for global-state updates.
+//
+// Virtual-time semantics: acquisition charges the Table 4 costs depending on
+// whether the lock was last held on the caller's node; contended acquires
+// block (for real) until the holder releases and then advance the waiter's
+// clock to the hand-off instant.
+type SysLock struct {
+	p  *Protocol
+	id int
+
+	mu          sync.Mutex
+	held        bool
+	queue       []chan sim.Time
+	lastRelease sim.Time
+	lastNode    int // node that last held the lock
+	nodeSeen    []bool
+}
+
+// NewLock creates (or returns) the system lock with the given id.
+func (p *Protocol) NewLock(id int) *SysLock {
+	p.lockMu.Lock()
+	defer p.lockMu.Unlock()
+	if l, ok := p.locks[id]; ok {
+		return l
+	}
+	l := &SysLock{p: p, id: id, lastNode: -1, nodeSeen: make([]bool, p.cl.NumNodes())}
+	p.locks[id] = l
+	return l
+}
+
+// chargeAcquire applies the Table 4 acquisition cost model for t.
+func (l *SysLock) chargeAcquire(t *sim.Task) {
+	c := l.p.cl.Costs
+	first := !l.nodeSeen[t.NodeID]
+	l.nodeSeen[t.NodeID] = true
+	local := l.lastNode == t.NodeID || l.lastNode == -1
+	switch {
+	case local && first:
+		t.Charge(sim.CatLocal, c.MutexLocalFirstBase)
+		t.Charge(sim.CatComm, c.MutexLocalFirstComm)
+	case local:
+		t.Charge(sim.CatLocal, c.MutexLocalFast)
+	case first:
+		t.Charge(sim.CatLocal, c.MutexRemoteBase-sim.Microsecond)
+		t.Charge(sim.CatRemote, c.MutexRemoteRemote)
+		t.Charge(sim.CatComm, c.MutexRemoteComm+c.MutexRemoteFirstAdd)
+	default:
+		t.Charge(sim.CatLocal, c.MutexRemoteBase)
+		t.Charge(sim.CatRemote, c.MutexRemoteRemote)
+		t.Charge(sim.CatComm, c.MutexRemoteComm)
+	}
+	l.p.cl.Ctr.LockAcquires.Add(1)
+	if !local {
+		l.p.cl.Ctr.RemoteLockAcquires.Add(1)
+	}
+}
+
+// Acquire obtains the lock, charging acquisition costs, blocking behind the
+// current holder, and applying acquire-side coherence.
+func (l *SysLock) Acquire(t *sim.Task) {
+	t.CancelPoint()
+	l.mu.Lock()
+	l.chargeAcquire(t)
+	if !l.held {
+		l.held = true
+		t.WaitUntil(l.lastRelease)
+		l.mu.Unlock()
+	} else {
+		ch := make(chan sim.Time, 1)
+		l.queue = append(l.queue, ch)
+		l.mu.Unlock()
+		grant := <-ch // real block until hand-off
+		t.WaitUntil(grant)
+	}
+	if l.p.Trace != nil {
+		l.p.Trace.Add(t.Now(), t.NodeID, trace.KindLock, uint64(l.id))
+	}
+	l.p.ApplyAcquire(t)
+}
+
+// TryAcquire attempts the lock without blocking (pthread_mutex_trylock).
+// A failed attempt on a remotely-managed lock still pays the probe.
+func (l *SysLock) TryAcquire(t *sim.Task) bool {
+	t.CancelPoint()
+	l.mu.Lock()
+	if l.held {
+		if l.lastNode != t.NodeID && l.lastNode != -1 {
+			t.Charge(sim.CatComm, l.p.cl.Costs.SendTime(16))
+		}
+		t.Charge(sim.CatLocal, l.p.cl.Costs.MutexLocalFast)
+		l.mu.Unlock()
+		return false
+	}
+	l.chargeAcquire(t)
+	l.held = true
+	t.WaitUntil(l.lastRelease)
+	l.mu.Unlock()
+	l.p.ApplyAcquire(t)
+	return true
+}
+
+// Release flushes the caller's write interval and hands the lock to the
+// next waiter (if any).
+func (l *SysLock) Release(t *sim.Task) {
+	l.p.Flush(t)
+	c := l.p.cl.Costs
+	t.Charge(sim.CatLocal, c.MutexUnlock)
+	l.mu.Lock()
+	if !l.held {
+		l.mu.Unlock()
+		panic(fmt.Sprintf("genima: release of unheld lock %d", l.id))
+	}
+	l.lastRelease = t.Now()
+	l.lastNode = t.NodeID
+	if len(l.queue) > 0 {
+		next := l.queue[0]
+		l.queue = l.queue[1:]
+		l.mu.Unlock()
+		// Hand-off: the waiter resumes at the release instant plus the
+		// grant-message latency.
+		next <- l.lastRelease + c.SendTime(16)
+		return
+	}
+	l.held = false
+	l.mu.Unlock()
+}
+
+// Barrier is GeNIMA's native global barrier.  Arrival flushes the write
+// interval; departure applies acquire-side coherence.  Virtual release time
+// is the maximum arrival time, so imbalance shows up as CatWait.
+type Barrier struct {
+	p    *Protocol
+	name string
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	gen     int
+	count   int
+	arrived sim.Time // max arrival virtual time this generation
+	release sim.Time // release instant of the previous generation
+}
+
+// NewBarrier creates (or returns) the named barrier.
+func (p *Protocol) NewBarrier(name string) *Barrier {
+	p.barMu.Lock()
+	defer p.barMu.Unlock()
+	if b, ok := p.bars[name]; ok {
+		return b
+	}
+	b := &Barrier{p: p, name: name}
+	b.cond = sync.NewCond(&b.mu)
+	p.bars[name] = b
+	return b
+}
+
+// Wait joins the barrier with the given party count.  All parties must pass
+// the same count within a generation.
+func (b *Barrier) Wait(t *sim.Task, parties int) {
+	if parties <= 0 {
+		panic(fmt.Sprintf("genima: barrier %q with %d parties", b.name, parties))
+	}
+	t.CancelPoint()
+	b.p.Flush(t)
+	c := b.p.cl.Costs
+	t.Charge(sim.CatLocal, c.BarrierNative)
+	t.Charge(sim.CatComm, c.BarrierNativeComm)
+
+	b.mu.Lock()
+	gen := b.gen
+	if now := t.Now(); now > b.arrived {
+		b.arrived = now
+	}
+	b.count++
+	switch {
+	case b.count > parties:
+		b.mu.Unlock()
+		panic(fmt.Sprintf("genima: barrier %q overfilled (%d > %d parties)",
+			b.name, b.count, parties))
+	case b.count == parties:
+		b.release = b.arrived
+		b.gen++
+		b.count = 0
+		b.arrived = 0
+		b.cond.Broadcast()
+	default:
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	release := b.release
+	b.mu.Unlock()
+
+	t.WaitUntil(release)
+	if b.p.Trace != nil {
+		b.p.Trace.Add(t.Now(), t.NodeID, trace.KindBarrier, 0)
+	}
+	b.p.ApplyAcquire(t)
+	b.p.cl.Ctr.Barriers.Add(1)
+}

@@ -1,0 +1,89 @@
+package m4_test
+
+import (
+	"sync"
+	"testing"
+
+	"cables/internal/apps/appapi"
+	"cables/internal/m4"
+	"cables/internal/sim"
+)
+
+func TestConfigDefaultsAndShape(t *testing.T) {
+	rt := m4.New(m4.Config{Procs: 7}) // odd count, default SMP width
+	if rt.Procs() != 7 {
+		t.Errorf("procs: %d", rt.Procs())
+	}
+	if got := rt.Cluster().NumNodes(); got != 4 { // ceil(7/2)
+		t.Errorf("nodes: %d", got)
+	}
+	if appapi.BackendName(rt) != "genima" {
+		t.Errorf("backend: %s", appapi.BackendName(rt))
+	}
+}
+
+func TestInvalidProcsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	m4.New(m4.Config{Procs: 0})
+}
+
+// TestSpawnPlacesRoundRobin: workers are distributed over all nodes.
+func TestSpawnPlacesRoundRobin(t *testing.T) {
+	rt := m4.New(m4.Config{Procs: 8, ProcsPerNode: 2, ArenaBytes: 8 << 20})
+	var mu sync.Mutex
+	nodes := map[int]int{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		rt.Spawn(rt.Main(), func(th *sim.Task) {
+			defer wg.Done()
+			mu.Lock()
+			nodes[th.NodeID]++
+			mu.Unlock()
+		})
+	}
+	wg.Wait()
+	if len(nodes) != 4 {
+		t.Fatalf("used %d nodes: %v", len(nodes), nodes)
+	}
+	for n, c := range nodes {
+		if c != 2 {
+			t.Errorf("node %d got %d workers", n, c)
+		}
+	}
+}
+
+// TestJoinIsRepeatable: WAIT_FOR_END-style sweeps may join twice.
+func TestJoinIsRepeatable(t *testing.T) {
+	rt := m4.New(m4.Config{Procs: 2, ProcsPerNode: 2, ArenaBytes: 8 << 20})
+	id := rt.Spawn(rt.Main(), func(th *sim.Task) { th.Compute(sim.Millisecond) })
+	rt.Join(rt.Main(), id)
+	rt.Join(rt.Main(), id) // must not hang or panic
+	if rt.Main().Now() < sim.Millisecond {
+		t.Error("join did not merge child clock")
+	}
+}
+
+func TestJoinUnknownPanics(t *testing.T) {
+	rt := m4.New(m4.Config{Procs: 2, ProcsPerNode: 2, ArenaBytes: 8 << 20})
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	rt.Join(rt.Main(), 999)
+}
+
+// TestFinishCoversAllThreads: Finish is the max over worker and main ends.
+func TestFinishCoversAllThreads(t *testing.T) {
+	rt := m4.New(m4.Config{Procs: 2, ProcsPerNode: 2, ArenaBytes: 8 << 20})
+	id := rt.Spawn(rt.Main(), func(th *sim.Task) { th.Compute(7 * sim.Millisecond) })
+	rt.Join(rt.Main(), id)
+	if got := rt.Finish(); got < 7*sim.Millisecond {
+		t.Errorf("finish: %v", got)
+	}
+}

@@ -1,0 +1,258 @@
+package memsys
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"cables/internal/sim"
+)
+
+// FaultHandler is implemented by the SVM protocol.  The accessor invokes it
+// when a simulated access finds the local page copy unusable; the handler
+// must make the copy valid for reading (ReadFault) or valid-and-writable
+// with a twin captured and the page registered dirty (WriteFault), charging
+// the faulting task for all protocol work.
+type FaultHandler interface {
+	ReadFault(t *sim.Task, pid PageID)
+	WriteFault(t *sim.Task, pid PageID)
+}
+
+// flushLocks gives each node a writer/flusher lock: shared-memory writes
+// hold it shared, interval flushes hold it exclusively, so a flush observes
+// a stable page image (avoids lost updates between same-node threads).
+type flushLocks struct{ mu []sync.RWMutex }
+
+var flushRegistry sync.Map // *Space -> *flushLocks
+
+func locksFor(s *Space) *flushLocks {
+	if v, ok := flushRegistry.Load(s); ok {
+		return v.(*flushLocks)
+	}
+	fl := &flushLocks{mu: make([]sync.RWMutex, s.nodes)}
+	actual, _ := flushRegistry.LoadOrStore(s, fl)
+	return actual.(*flushLocks)
+}
+
+// Accessor is the application-facing view of the shared address space for
+// one protocol backend.  All simulated shared-memory accesses go through it;
+// it implements the page-fault check that VM hardware performs in the real
+// system.
+type Accessor struct {
+	Sp *Space
+	H  FaultHandler
+
+	locks *flushLocks
+}
+
+// NewAccessor binds a space to a protocol fault handler.
+func NewAccessor(sp *Space, h FaultHandler) *Accessor {
+	return &Accessor{Sp: sp, H: h, locks: locksFor(sp)}
+}
+
+// FlushBegin takes the node's flush lock exclusively; the protocol calls it
+// around interval flushes.
+func (a *Accessor) FlushBegin(node int) { a.locks.mu[node].Lock() }
+
+// FlushEnd releases the flush lock.
+func (a *Accessor) FlushEnd(node int) { a.locks.mu[node].Unlock() }
+
+func (a *Accessor) check(addr Addr, size int) (PageID, int) {
+	if addr&(Addr(size)-1) != 0 {
+		panic(fmt.Sprintf("memsys: unaligned %d-byte access at %#x", size, uint64(addr)))
+	}
+	if !a.Sp.Contains(addr, size) {
+		panic(fmt.Sprintf("memsys: access [%#x,+%d) outside shared arena", uint64(addr), size))
+	}
+	return a.Sp.PageOf(addr), int(addr & PageMask)
+}
+
+// pageForRead returns a readable copy of the page on t's node, faulting if
+// necessary.
+func (a *Accessor) pageForRead(t *sim.Task, pid PageID) *PageCopy {
+	pc := a.Sp.Copy(t.NodeID, pid)
+	if !pc.Valid() {
+		a.H.ReadFault(t, pid)
+	}
+	return pc
+}
+
+// pageForWrite returns a writable copy with the node's flush lock held
+// shared.  The caller must release it via writeEnd after the store.
+func (a *Accessor) pageForWrite(t *sim.Task, pid PageID) *PageCopy {
+	pc := a.Sp.Copy(t.NodeID, pid)
+	for {
+		a.locks.mu[t.NodeID].RLock()
+		if pc.Valid() && pc.Written() {
+			return pc
+		}
+		a.locks.mu[t.NodeID].RUnlock()
+		a.H.WriteFault(t, pid)
+	}
+}
+
+func (a *Accessor) writeEnd(node int) { a.locks.mu[node].RUnlock() }
+
+// --- Scalar accessors ---
+
+// ReadF64 reads a float64 at addr.
+func (a *Accessor) ReadF64(t *sim.Task, addr Addr) float64 {
+	pid, off := a.check(addr, 8)
+	pc := a.pageForRead(t, pid)
+	t.Compute(t.Costs().MemAccess)
+	return math.Float64frombits(binary.LittleEndian.Uint64(pc.Data()[off:]))
+}
+
+// WriteF64 writes a float64 at addr.
+func (a *Accessor) WriteF64(t *sim.Task, addr Addr, v float64) {
+	pid, off := a.check(addr, 8)
+	pc := a.pageForWrite(t, pid)
+	binary.LittleEndian.PutUint64(pc.Data()[off:], math.Float64bits(v))
+	a.writeEnd(t.NodeID)
+	t.Compute(t.Costs().MemAccess)
+}
+
+// ReadI64 reads an int64 at addr.
+func (a *Accessor) ReadI64(t *sim.Task, addr Addr) int64 {
+	pid, off := a.check(addr, 8)
+	pc := a.pageForRead(t, pid)
+	t.Compute(t.Costs().MemAccess)
+	return int64(binary.LittleEndian.Uint64(pc.Data()[off:]))
+}
+
+// WriteI64 writes an int64 at addr.
+func (a *Accessor) WriteI64(t *sim.Task, addr Addr, v int64) {
+	pid, off := a.check(addr, 8)
+	pc := a.pageForWrite(t, pid)
+	binary.LittleEndian.PutUint64(pc.Data()[off:], uint64(v))
+	a.writeEnd(t.NodeID)
+	t.Compute(t.Costs().MemAccess)
+}
+
+// ReadI32 reads an int32 at addr.
+func (a *Accessor) ReadI32(t *sim.Task, addr Addr) int32 {
+	pid, off := a.check(addr, 4)
+	pc := a.pageForRead(t, pid)
+	t.Compute(t.Costs().MemAccess)
+	return int32(binary.LittleEndian.Uint32(pc.Data()[off:]))
+}
+
+// WriteI32 writes an int32 at addr.
+func (a *Accessor) WriteI32(t *sim.Task, addr Addr, v int32) {
+	pid, off := a.check(addr, 4)
+	pc := a.pageForWrite(t, pid)
+	binary.LittleEndian.PutUint32(pc.Data()[off:], uint32(v))
+	a.writeEnd(t.NodeID)
+	t.Compute(t.Costs().MemAccess)
+}
+
+// --- Block accessors (hot loops; page-wise fault checks, same charging) ---
+
+// ReadF64s fills dst from the shared array starting at addr.
+func (a *Accessor) ReadF64s(t *sim.Task, addr Addr, dst []float64) {
+	if len(dst) == 0 {
+		return
+	}
+	pid, off := a.check(addr, 8)
+	i := 0
+	for i < len(dst) {
+		pc := a.pageForRead(t, pid)
+		n := (PageSize - off) / 8
+		if rem := len(dst) - i; n > rem {
+			n = rem
+		}
+		for k := 0; k < n; k++ {
+			dst[i+k] = math.Float64frombits(
+				binary.LittleEndian.Uint64(pc.Data()[off+8*k:]))
+		}
+		i += n
+		pid++
+		off = 0
+	}
+	t.Compute(t.Costs().MemAccess * sim.Time(len(dst)))
+}
+
+// WriteF64s stores src into the shared array starting at addr.
+func (a *Accessor) WriteF64s(t *sim.Task, addr Addr, src []float64) {
+	if len(src) == 0 {
+		return
+	}
+	pid, off := a.check(addr, 8)
+	i := 0
+	for i < len(src) {
+		pc := a.pageForWrite(t, pid)
+		n := (PageSize - off) / 8
+		if rem := len(src) - i; n > rem {
+			n = rem
+		}
+		for k := 0; k < n; k++ {
+			binary.LittleEndian.PutUint64(pc.Data()[off+8*k:], math.Float64bits(src[i+k]))
+		}
+		a.writeEnd(t.NodeID)
+		i += n
+		pid++
+		off = 0
+	}
+	t.Compute(t.Costs().MemAccess * sim.Time(len(src)))
+}
+
+// ReadI64s fills dst from the shared array starting at addr.
+func (a *Accessor) ReadI64s(t *sim.Task, addr Addr, dst []int64) {
+	if len(dst) == 0 {
+		return
+	}
+	pid, off := a.check(addr, 8)
+	i := 0
+	for i < len(dst) {
+		pc := a.pageForRead(t, pid)
+		n := (PageSize - off) / 8
+		if rem := len(dst) - i; n > rem {
+			n = rem
+		}
+		for k := 0; k < n; k++ {
+			dst[i+k] = int64(binary.LittleEndian.Uint64(pc.Data()[off+8*k:]))
+		}
+		i += n
+		pid++
+		off = 0
+	}
+	t.Compute(t.Costs().MemAccess * sim.Time(len(dst)))
+}
+
+// WriteI64s stores src into the shared array starting at addr.
+func (a *Accessor) WriteI64s(t *sim.Task, addr Addr, src []int64) {
+	if len(src) == 0 {
+		return
+	}
+	pid, off := a.check(addr, 8)
+	i := 0
+	for i < len(src) {
+		pc := a.pageForWrite(t, pid)
+		n := (PageSize - off) / 8
+		if rem := len(src) - i; n > rem {
+			n = rem
+		}
+		for k := 0; k < n; k++ {
+			binary.LittleEndian.PutUint64(pc.Data()[off+8*k:], uint64(src[i+k]))
+		}
+		a.writeEnd(t.NodeID)
+		i += n
+		pid++
+		off = 0
+	}
+	t.Compute(t.Costs().MemAccess * sim.Time(len(src)))
+}
+
+// Touch validates a page range for reading without transferring data to the
+// caller; used by applications for placement warm-up (first touch).
+func (a *Accessor) Touch(t *sim.Task, addr Addr, n int) {
+	if n <= 0 {
+		return
+	}
+	first := a.Sp.PageOf(addr)
+	last := a.Sp.PageOf(addr + Addr(n) - 1)
+	for pid := first; pid <= last; pid++ {
+		a.pageForRead(t, pid)
+	}
+}

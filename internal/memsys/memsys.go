@@ -1,0 +1,266 @@
+// Package memsys implements the shared virtual address space: 4 KB pages,
+// per-node page copies with twins for diffing, the home directory, and a
+// first-toucher record used to quantify page misplacement (paper Figure 6).
+//
+// There is no mmap/SIGSEGV here: a "page fault" is a state check on the
+// access path (see Accessor in access.go).  That is the substitution this
+// reproduction makes for VM hardware — the state machine is identical, and
+// the fault-handling cost is charged in virtual time.
+package memsys
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Page geometry.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift // 4 KB, as in the paper's testbed
+	PageMask  = PageSize - 1
+)
+
+// Addr is a global shared virtual address.
+type Addr uint64
+
+// PageID indexes a page within the shared arena.
+type PageID uint64
+
+// SpaceBase is where the global shared arena starts in the (simulated)
+// process virtual address space.
+const SpaceBase Addr = 0x4000_0000
+
+// NoHome marks a page whose primary copy has not been placed yet.
+const NoHome = int32(-1)
+
+// PageCopy is one node's copy of one shared page.  The zero state is
+// Invalid with no storage; storage is allocated on first validation.
+//
+// The backing array is held behind an atomic pointer: when an invalidated
+// copy is refetched, a *fresh* array is swapped in, so same-node readers
+// that raced past the validity check keep reading the array their own
+// acquire justified — exactly the lazy-release-consistency contract.
+type PageCopy struct {
+	// Mu serializes state transitions and diff application on this copy.
+	Mu sync.Mutex
+	// Twin is a pristine copy taken at the first write of the current
+	// interval on a non-home node; diffs are computed against it at flush.
+	// Guarded by Mu.
+	Twin []byte
+
+	data    atomic.Pointer[[]byte]
+	valid   atomic.Bool
+	written atomic.Bool
+}
+
+// Data returns the current backing array (nil before first validation).
+func (p *PageCopy) Data() []byte {
+	if b := p.data.Load(); b != nil {
+		return *b
+	}
+	return nil
+}
+
+// ReplaceData swaps in a new backing array (used by refetch after
+// invalidation); concurrent readers keep the array they already loaded.
+func (p *PageCopy) ReplaceData(b []byte) { p.data.Store(&b) }
+
+// Written reports whether the page is dirty in the current interval.
+func (p *PageCopy) Written() bool { return p.written.Load() }
+
+// SetWritten marks or clears the dirty flag.
+func (p *PageCopy) SetWritten(v bool) { p.written.Store(v) }
+
+// Valid reports whether this copy may be read without a fault.
+func (p *PageCopy) Valid() bool { return p.valid.Load() }
+
+// SetValid marks the copy readable.
+func (p *PageCopy) SetValid(v bool) { p.valid.Store(v) }
+
+// EnsureData allocates the page storage if needed and returns it.
+// Caller must hold Mu or otherwise own the copy.
+func (p *PageCopy) EnsureData() []byte {
+	if b := p.data.Load(); b != nil {
+		return *b
+	}
+	b := make([]byte, PageSize)
+	p.data.Store(&b)
+	return b
+}
+
+// Space is the cluster-wide shared address space.
+type Space struct {
+	nodes    int
+	size     int64
+	numPages int
+
+	// pages[node][pid] is node's copy of page pid, created on demand.
+	pages [][]atomic.Pointer[PageCopy]
+
+	// home[pid] is the node holding the primary copy, or NoHome.
+	home []atomic.Int32
+	// toucher[pid] is the node that first accessed the page, recorded at
+	// 4 KB granularity; this is the reference placement against which
+	// CableS's map-unit-granularity homes are compared (Figure 6).
+	toucher []atomic.Int32
+
+	allocMu sync.Mutex
+	next    Addr
+	segs    []Segment
+}
+
+// Segment records one allocation in the shared arena.
+type Segment struct {
+	Label string
+	Start Addr
+	Size  int64
+}
+
+// NewSpace creates a shared arena of size bytes for a cluster of nodes.
+func NewSpace(nodes int, size int64) *Space {
+	if nodes <= 0 || size <= 0 {
+		panic(fmt.Sprintf("memsys: bad space geometry nodes=%d size=%d", nodes, size))
+	}
+	np := int((size + PageSize - 1) / PageSize)
+	s := &Space{
+		nodes:    nodes,
+		size:     int64(np) * PageSize,
+		numPages: np,
+		pages:    make([][]atomic.Pointer[PageCopy], nodes),
+		home:     make([]atomic.Int32, np),
+		toucher:  make([]atomic.Int32, np),
+		next:     SpaceBase,
+	}
+	for n := range s.pages {
+		s.pages[n] = make([]atomic.Pointer[PageCopy], np)
+	}
+	for i := range s.home {
+		s.home[i].Store(NoHome)
+		s.toucher[i].Store(NoHome)
+	}
+	return s
+}
+
+// Nodes returns the node count the space was built for.
+func (s *Space) Nodes() int { return s.nodes }
+
+// Size returns the arena size in bytes.
+func (s *Space) Size() int64 { return s.size }
+
+// NumPages returns the number of pages in the arena.
+func (s *Space) NumPages() int { return s.numPages }
+
+// Base returns the arena's starting virtual address.
+func (s *Space) Base() Addr { return SpaceBase }
+
+// Contains reports whether [a, a+n) lies within the arena.
+func (s *Space) Contains(a Addr, n int) bool {
+	return a >= SpaceBase && int64(a-SpaceBase)+int64(n) <= s.size
+}
+
+// PageOf maps an address to its page.
+func (s *Space) PageOf(a Addr) PageID {
+	if !s.Contains(a, 1) {
+		panic(fmt.Sprintf("memsys: address %#x outside shared arena", uint64(a)))
+	}
+	return PageID((a - SpaceBase) >> PageShift)
+}
+
+// PageAddr returns the first address of page pid.
+func (s *Space) PageAddr(pid PageID) Addr { return SpaceBase + Addr(pid)<<PageShift }
+
+// Copy returns node's copy of page pid, creating the descriptor on demand.
+func (s *Space) Copy(node int, pid PageID) *PageCopy {
+	slot := &s.pages[node][pid]
+	if pc := slot.Load(); pc != nil {
+		return pc
+	}
+	pc := &PageCopy{}
+	if slot.CompareAndSwap(nil, pc) {
+		return pc
+	}
+	return slot.Load()
+}
+
+// Home returns the page's home node, or NoHome as an int (-1).
+func (s *Space) Home(pid PageID) int { return int(s.home[pid].Load()) }
+
+// SetHome forcibly places the primary copy of pid on node (static placement
+// in the base system; migration in CableS).
+func (s *Space) SetHome(pid PageID, node int) { s.home[pid].Store(int32(node)) }
+
+// TryFirstTouch sets node as home if the page is unplaced, returning the
+// page's home after the operation and whether this call placed it.
+func (s *Space) TryFirstTouch(pid PageID, node int) (home int, placed bool) {
+	if s.home[pid].CompareAndSwap(NoHome, int32(node)) {
+		return node, true
+	}
+	return int(s.home[pid].Load()), false
+}
+
+// RecordToucher records node as the page's 4 KB-granularity first toucher.
+func (s *Space) RecordToucher(pid PageID, node int) {
+	s.toucher[pid].CompareAndSwap(NoHome, int32(node))
+}
+
+// Toucher returns the 4 KB-granularity first toucher, or -1.
+func (s *Space) Toucher(pid PageID) int { return int(s.toucher[pid].Load()) }
+
+// AllocSegment carves size bytes out of the arena, aligned to align (which
+// must be a power of two; 0 means 64).  It returns the segment start.
+func (s *Space) AllocSegment(label string, size int64, align int64) (Addr, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("memsys: allocation of %d bytes", size)
+	}
+	if align == 0 {
+		align = 64
+	}
+	if align&(align-1) != 0 {
+		return 0, fmt.Errorf("memsys: alignment %d not a power of two", align)
+	}
+	s.allocMu.Lock()
+	defer s.allocMu.Unlock()
+	start := Addr((int64(s.next) + align - 1) &^ (align - 1))
+	if int64(start-SpaceBase)+size > s.size {
+		return 0, fmt.Errorf("memsys: shared arena exhausted (%d bytes requested, %d free)",
+			size, s.size-int64(s.next-SpaceBase))
+	}
+	s.next = start + Addr(size)
+	s.segs = append(s.segs, Segment{Label: label, Start: start, Size: size})
+	return start, nil
+}
+
+// Segments returns a snapshot of all allocations made so far.
+func (s *Space) Segments() []Segment {
+	s.allocMu.Lock()
+	defer s.allocMu.Unlock()
+	out := make([]Segment, len(s.segs))
+	copy(out, s.segs)
+	return out
+}
+
+// Used returns the number of arena bytes allocated so far.
+func (s *Space) Used() int64 {
+	s.allocMu.Lock()
+	defer s.allocMu.Unlock()
+	return int64(s.next - SpaceBase)
+}
+
+// MisplacedPages compares each touched page's home against its 4 KB
+// first-toucher reference and returns (misplaced, total touched).  This is
+// the Figure 6 metric: a page is misplaced when map-unit-granularity home
+// binding gave it a different home than per-page first touch would have.
+func (s *Space) MisplacedPages() (misplaced, total int) {
+	for pid := 0; pid < s.numPages; pid++ {
+		ref := s.toucher[pid].Load()
+		if ref == NoHome {
+			continue
+		}
+		total++
+		if s.home[pid].Load() != ref {
+			misplaced++
+		}
+	}
+	return misplaced, total
+}

@@ -1,0 +1,300 @@
+package memsys
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"cables/internal/sim"
+)
+
+func TestSpaceGeometry(t *testing.T) {
+	s := NewSpace(4, 1<<20)
+	if s.NumPages() != 256 {
+		t.Errorf("pages: %d", s.NumPages())
+	}
+	if s.Base() != SpaceBase {
+		t.Errorf("base: %#x", uint64(s.Base()))
+	}
+	if !s.Contains(SpaceBase, 1<<20) || s.Contains(SpaceBase, 1<<20+1) {
+		t.Error("contains wrong")
+	}
+	if s.PageOf(SpaceBase+PageSize) != 1 {
+		t.Error("PageOf wrong")
+	}
+	if s.PageAddr(3) != SpaceBase+3*PageSize {
+		t.Error("PageAddr wrong")
+	}
+}
+
+func TestPageOfPanicsOutsideArena(t *testing.T) {
+	s := NewSpace(1, 1<<16)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	s.PageOf(SpaceBase - 1)
+}
+
+// TestCopyIsPerNodeSingleton: concurrent Copy calls return one descriptor.
+func TestCopyIsPerNodeSingleton(t *testing.T) {
+	s := NewSpace(2, 1<<16)
+	const goroutines = 16
+	got := make([]*PageCopy, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[i] = s.Copy(0, 3)
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if got[i] != got[0] {
+			t.Fatal("Copy returned distinct descriptors")
+		}
+	}
+	if s.Copy(1, 3) == got[0] {
+		t.Error("copies not per-node")
+	}
+}
+
+// TestFirstTouchIsExactlyOnce: under concurrency exactly one node places
+// the page and everyone agrees on the home afterwards.
+func TestFirstTouchIsExactlyOnce(t *testing.T) {
+	s := NewSpace(8, 1<<16)
+	var wg sync.WaitGroup
+	placed := make([]bool, 8)
+	for n := 0; n < 8; n++ {
+		n := n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, p := s.TryFirstTouch(5, n)
+			placed[n] = p
+		}()
+	}
+	wg.Wait()
+	count := 0
+	for n, p := range placed {
+		if p && s.Home(5) != n {
+			t.Errorf("node %d placed but home is %d", n, s.Home(5))
+		}
+		if p {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("placements: %d", count)
+	}
+}
+
+// TestMisplacedPagesMetric: the Figure 6 metric counts exactly the touched
+// pages whose home differs from the 4 KB first toucher.
+func TestMisplacedPagesMetric(t *testing.T) {
+	s := NewSpace(4, 1<<20)
+	for pid := PageID(0); pid < 10; pid++ {
+		s.RecordToucher(pid, int(pid%4))
+		if pid < 6 {
+			s.SetHome(pid, int(pid%4)) // well placed
+		} else {
+			s.SetHome(pid, (int(pid)+1)%4) // misplaced
+		}
+	}
+	mis, total := s.MisplacedPages()
+	if total != 10 || mis != 4 {
+		t.Errorf("got %d/%d want 4/10", mis, total)
+	}
+}
+
+// TestAllocSegmentProperties: allocations never overlap, respect alignment,
+// and fail cleanly when the arena is exhausted.
+func TestAllocSegmentProperties(t *testing.T) {
+	type alloc struct{ start, size int64 }
+	f := func(sizes []uint16) bool {
+		s := NewSpace(1, 1<<20)
+		var allocs []alloc
+		for _, raw := range sizes {
+			size := int64(raw%2048) + 1
+			a, err := s.AllocSegment("x", size, 64)
+			if err != nil {
+				continue
+			}
+			if uint64(a)%64 != 0 {
+				return false
+			}
+			na := alloc{int64(a), size}
+			for _, o := range allocs {
+				if na.start < o.start+o.size && o.start < na.start+na.size {
+					return false // overlap
+				}
+			}
+			allocs = append(allocs, na)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocSegmentErrors(t *testing.T) {
+	s := NewSpace(1, 1<<16)
+	if _, err := s.AllocSegment("zero", 0, 0); err == nil {
+		t.Error("zero-size accepted")
+	}
+	if _, err := s.AllocSegment("align", 8, 3); err == nil {
+		t.Error("non-power-of-two alignment accepted")
+	}
+	if _, err := s.AllocSegment("big", 1<<20, 0); err == nil {
+		t.Error("oversized accepted")
+	}
+	if _, err := s.AllocSegment("ok", 1<<15, 0); err != nil {
+		t.Errorf("valid alloc failed: %v", err)
+	}
+	if used := s.Used(); used < 1<<15 {
+		t.Errorf("used: %d", used)
+	}
+	if segs := s.Segments(); len(segs) != 1 || segs[0].Label != "ok" {
+		t.Errorf("segments: %+v", segs)
+	}
+}
+
+// fakeHandler validates pages immediately (no protocol).
+type fakeHandler struct {
+	sp          *Space
+	readFaults  int
+	writeFaults int
+}
+
+func (h *fakeHandler) ReadFault(t *sim.Task, pid PageID) {
+	pc := h.sp.Copy(t.NodeID, pid)
+	pc.Mu.Lock()
+	pc.EnsureData()
+	pc.SetValid(true)
+	pc.Mu.Unlock()
+	h.readFaults++
+}
+
+func (h *fakeHandler) WriteFault(t *sim.Task, pid PageID) {
+	h.ReadFault(t, pid)
+	pc := h.sp.Copy(t.NodeID, pid)
+	pc.Mu.Lock()
+	pc.SetWritten(true)
+	pc.Mu.Unlock()
+	h.writeFaults++
+}
+
+func newAcc() (*Accessor, *fakeHandler, *sim.Task) {
+	sp := NewSpace(2, 1<<20)
+	h := &fakeHandler{sp: sp}
+	task := sim.NewTask(1, 0, sim.DefaultCosts())
+	return NewAccessor(sp, h), h, task
+}
+
+// TestScalarRoundTrips covers every typed accessor.
+func TestScalarRoundTrips(t *testing.T) {
+	acc, _, task := newAcc()
+	a := SpaceBase
+	acc.WriteF64(task, a, 3.25)
+	if got := acc.ReadF64(task, a); got != 3.25 {
+		t.Errorf("f64: %v", got)
+	}
+	acc.WriteI64(task, a+8, -77)
+	if got := acc.ReadI64(task, a+8); got != -77 {
+		t.Errorf("i64: %v", got)
+	}
+	acc.WriteI32(task, a+16, 123456)
+	if got := acc.ReadI32(task, a+16); got != 123456 {
+		t.Errorf("i32: %v", got)
+	}
+}
+
+// TestBlockRoundTripAcrossPages: block ops spanning page boundaries agree
+// with scalar ops.
+func TestBlockRoundTripAcrossPages(t *testing.T) {
+	acc, _, task := newAcc()
+	const n = 1500 // ~3 pages of float64
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = float64(i) * 1.5
+	}
+	a := SpaceBase + 512 // start mid-page (8-aligned)
+	acc.WriteF64s(task, a, src)
+	dst := make([]float64, n)
+	acc.ReadF64s(task, a, dst)
+	for i := range dst {
+		if dst[i] != src[i] {
+			t.Fatalf("f64s mismatch at %d", i)
+		}
+		if got := acc.ReadF64(task, a+Addr(i*8)); got != src[i] {
+			t.Fatalf("scalar/block mismatch at %d", i)
+		}
+	}
+	is := make([]int64, 600)
+	for i := range is {
+		is[i] = int64(-i)
+	}
+	acc.WriteI64s(task, a, is)
+	ds := make([]int64, 600)
+	acc.ReadI64s(task, a, ds)
+	for i := range ds {
+		if ds[i] != is[i] {
+			t.Fatalf("i64s mismatch at %d", i)
+		}
+	}
+}
+
+func TestUnalignedAccessPanics(t *testing.T) {
+	acc, _, task := newAcc()
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	acc.ReadF64(task, SpaceBase+3)
+}
+
+func TestTouchValidatesRange(t *testing.T) {
+	acc, h, task := newAcc()
+	acc.Touch(task, SpaceBase, 3*PageSize)
+	if h.readFaults != 3 {
+		t.Errorf("faults: %d", h.readFaults)
+	}
+	acc.Touch(task, SpaceBase, 3*PageSize) // cached now
+	if h.readFaults != 3 {
+		t.Errorf("refaulted: %d", h.readFaults)
+	}
+}
+
+func TestWriteFaultOncePerInterval(t *testing.T) {
+	acc, h, task := newAcc()
+	for i := 0; i < 10; i++ {
+		acc.WriteI64(task, SpaceBase+Addr(i*8), int64(i))
+	}
+	if h.writeFaults != 1 {
+		t.Errorf("write faults: %d", h.writeFaults)
+	}
+	// Simulate an interval flush clearing the dirty bit.
+	pc := acc.Sp.Copy(0, 0)
+	acc.FlushBegin(0)
+	pc.SetWritten(false)
+	acc.FlushEnd(0)
+	acc.WriteI64(task, SpaceBase, 9)
+	if h.writeFaults != 2 {
+		t.Errorf("write faults after flush: %d", h.writeFaults)
+	}
+}
+
+func TestAccessesChargeTime(t *testing.T) {
+	acc, _, task := newAcc()
+	before := task.Now()
+	acc.WriteF64(task, SpaceBase, 1)
+	acc.ReadF64(task, SpaceBase)
+	if task.Now() <= before {
+		t.Error("accesses charged no time")
+	}
+}

@@ -1,0 +1,105 @@
+package nodeos
+
+import (
+	"testing"
+
+	"cables/internal/sim"
+)
+
+func TestClusterShape(t *testing.T) {
+	cl := NewCluster(Config{NumNodes: 4, ProcsPerNode: 2})
+	if cl.NumNodes() != 4 || cl.TotalProcessors() != 8 {
+		t.Errorf("shape: %d nodes %d procs", cl.NumNodes(), cl.TotalProcessors())
+	}
+	if cl.Fabric.Nodes() != 4 {
+		t.Error("fabric node count")
+	}
+}
+
+func TestClusterDefaults(t *testing.T) {
+	cl := NewCluster(Config{NumNodes: 2})
+	if cl.Nodes[0].Processors != 2 {
+		t.Errorf("default SMP width: %d", cl.Nodes[0].Processors)
+	}
+	if cl.Costs == nil || cl.VMMC == nil {
+		t.Fatal("defaults missing")
+	}
+	if cl.Nodes[0].MapUnit() != 64<<10 {
+		t.Errorf("default granularity: %d", cl.Nodes[0].MapUnit())
+	}
+}
+
+func TestInvalidClusterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewCluster(Config{NumNodes: 0})
+}
+
+func TestLoadFactorTimeSharing(t *testing.T) {
+	cl := NewCluster(Config{NumNodes: 1, ProcsPerNode: 2})
+	n := cl.Nodes[0]
+	if n.LoadFactor() != 1 {
+		t.Error("idle load factor")
+	}
+	for i := 0; i < 2; i++ {
+		n.ThreadStarted()
+	}
+	if n.LoadFactor() != 1 {
+		t.Error("full-but-not-over load factor")
+	}
+	n.ThreadStarted() // 3 runnable on 2 processors
+	if got := n.LoadFactor(); got != 1.5 {
+		t.Errorf("oversubscribed load factor: %v", got)
+	}
+	n.ThreadStopped()
+	n.ThreadStopped()
+	n.ThreadStopped()
+	if n.Runnable() != 0 {
+		t.Errorf("runnable: %d", n.Runnable())
+	}
+}
+
+func TestNewTaskWiring(t *testing.T) {
+	cl := NewCluster(Config{NumNodes: 2, ProcsPerNode: 2})
+	cl.Nodes[1].ThreadStarted()
+	cl.Nodes[1].ThreadStarted()
+	cl.Nodes[1].ThreadStarted()
+	task := cl.NewTask(1, 5*sim.Microsecond)
+	if task.NodeID != 1 || task.Now() != 5*sim.Microsecond {
+		t.Errorf("task wiring: node=%d now=%v", task.NodeID, task.Now())
+	}
+	task.Compute(10 * sim.Microsecond)
+	if got := task.Now() - 5*sim.Microsecond; got != 15*sim.Microsecond {
+		t.Errorf("load-dilated compute on task: %v", got)
+	}
+	t2 := cl.NewTask(0, 0)
+	if t2.ID == task.ID {
+		t.Error("task ids not unique")
+	}
+}
+
+func TestOSChargeHelpers(t *testing.T) {
+	cl := NewCluster(Config{NumNodes: 1, ProcsPerNode: 2})
+	task := cl.NewTask(0, 0)
+	cl.Nodes[0].ChargeThreadCreate(task)
+	cl.Nodes[0].ChargeMapSegment(task)
+	b := task.Snapshot()
+	want := cl.Costs.OSThreadCreate + cl.Costs.OSMapSegment
+	if b[sim.CatLocalOS] != want {
+		t.Errorf("OS charges: %v want %v", b[sim.CatLocalOS], want)
+	}
+}
+
+func TestAttachedFlag(t *testing.T) {
+	cl := NewCluster(Config{NumNodes: 2, ProcsPerNode: 2})
+	if cl.Nodes[1].Attached() {
+		t.Error("node attached by default")
+	}
+	cl.Nodes[1].SetAttached(true)
+	if !cl.Nodes[1].Attached() {
+		t.Error("attach flag lost")
+	}
+}

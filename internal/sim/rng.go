@@ -1,0 +1,35 @@
+package sim
+
+// RNG is a small deterministic pseudo-random generator (SplitMix64).  The
+// workloads use it instead of math/rand so that runs are reproducible from a
+// seed regardless of Go version.
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed*0x9E3779B97F4A7C15 + 1} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n).  n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: RNG.Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Split derives an independent generator, useful for giving each simulated
+// thread its own stream.
+func (r *RNG) Split() *RNG { return NewRNG(r.Uint64()) }

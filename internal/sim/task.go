@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+)
+
+// schedQuantum is how much charged virtual time a task may accumulate
+// before yielding the host CPU.  Yielding keeps the real execution order of
+// goroutines roughly aligned with virtual-time order, which matters for
+// work distribution through dynamic queues (task stealing): without it one
+// goroutine can drain a whole queue in real time while its peers — earlier
+// in virtual time — never get scheduled.
+const schedQuantum = 50 * Microsecond
+
+// ErrCanceled is the panic value used to unwind a simulated thread that has
+// been canceled (pthread_cancel).  The thread-runner recovers it.
+var ErrCanceled = errors.New("sim: task canceled")
+
+// Task is one simulated thread of execution.  It is owned by exactly one
+// goroutine; only that goroutine calls Charge/Compute/Attribute.  Other
+// goroutines may read the clock (synchronization primitives merge peers'
+// clocks) and may request cancellation, which is why those fields are atomic.
+type Task struct {
+	// ID is the application-wide thread identifier.
+	ID int
+	// NodeID is the cluster node the task runs on.
+	NodeID int
+
+	clock    atomic.Int64 // virtual now, ns
+	canceled atomic.Bool
+
+	// brk is the cumulative cost breakdown.  Owner-goroutine writes; readers
+	// must hold the task quiescent (e.g. after join).
+	brk Breakdown
+
+	// Load, if set, reports the current computation dilation factor of the
+	// node (runnable threads / processors, floored at 1).  Installed by the
+	// node OS model.
+	Load func() float64
+
+	costs     *Costs
+	schedDebt Time // charged time since the last host-CPU yield
+}
+
+// NewTask returns a task with the given identifiers running against the cost
+// table c.
+func NewTask(id, node int, c *Costs) *Task {
+	return &Task{ID: id, NodeID: node, costs: c}
+}
+
+// Costs returns the task's cost table.
+func (t *Task) Costs() *Costs { return t.costs }
+
+// Now returns the task's current virtual time.
+func (t *Task) Now() Time { return Time(t.clock.Load()) }
+
+// SetNow initializes the clock (used when spawning a child at the parent's
+// current time).
+func (t *Task) SetNow(v Time) { t.clock.Store(int64(v)) }
+
+// Charge advances the clock by d and attributes it to category cat.
+func (t *Task) Charge(cat Category, d Time) {
+	if d <= 0 {
+		return
+	}
+	t.clock.Add(int64(d))
+	t.brk.Add(cat, d)
+	t.schedDebt += d
+	if t.schedDebt >= schedQuantum {
+		t.schedDebt = 0
+		runtime.Gosched()
+	}
+}
+
+// Attribute records d against category cat without advancing the clock.
+// Used for work that overlaps other charged work (the paper notes that node
+// attach breakdowns "will not exactly add up to the total" for this reason).
+func (t *Task) Attribute(cat Category, d Time) {
+	if d > 0 {
+		t.brk.Add(cat, d)
+	}
+}
+
+// Compute charges application computation of duration d, dilated by the
+// node's current load factor (threads time-share processors) and by the cost
+// table's compute scale.
+func (t *Task) Compute(d Time) {
+	if d <= 0 {
+		return
+	}
+	f := t.costs.ComputeScale
+	if t.Load != nil {
+		f *= t.Load()
+	}
+	t.Charge(CatCompute, Time(float64(d)*f))
+}
+
+// WaitUntil advances the clock to instant v if v is in the task's future,
+// attributing the gap to CatWait.  Returns the (possibly unchanged) now.
+func (t *Task) WaitUntil(v Time) Time {
+	now := t.Now()
+	if v > now {
+		t.Charge(CatWait, v-now)
+		return v
+	}
+	return now
+}
+
+// Snapshot returns a copy of the cumulative breakdown.  Call only from the
+// owner goroutine or after the task has finished.
+func (t *Task) Snapshot() Breakdown { return t.brk }
+
+// Cancel marks the task canceled; the owning goroutine unwinds at its next
+// cancellation point.
+func (t *Task) Cancel() { t.canceled.Store(true) }
+
+// Canceled reports whether cancellation has been requested.
+func (t *Task) Canceled() bool { return t.canceled.Load() }
+
+// CancelPoint panics with ErrCanceled if cancellation has been requested.
+// Synchronization operations and page faults are cancellation points,
+// mirroring POSIX deferred cancellation.
+func (t *Task) CancelPoint() {
+	if t.canceled.Load() {
+		panic(ErrCanceled)
+	}
+}

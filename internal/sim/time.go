@@ -1,0 +1,144 @@
+// Package sim provides the virtual-time execution substrate on which the
+// whole CableS reproduction runs.
+//
+// The paper measures a real 32-processor cluster.  This reproduction instead
+// executes simulated threads as goroutines and accounts all costs —
+// computation, operating-system services, and communication — in *virtual
+// time*.  Each simulated thread owns a Clock; synchronization primitives
+// merge clocks with max(), and communication charges are taken from a cost
+// table calibrated against the paper's Table 3 and Table 4.  This keeps the
+// experiments independent of the host machine and of the Go scheduler, which
+// cannot host a page-fault-driven SVM directly.
+package sim
+
+import "fmt"
+
+// Time is a duration or instant of virtual time, in nanoseconds.
+type Time int64
+
+// Convenient virtual-time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Micros reports t as a floating-point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis reports t as a floating-point number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String renders t with an auto-selected unit, e.g. "7.8us" or "3690ms".
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return fmt.Sprintf("-%s", (-t).String())
+	case t < 10*Microsecond:
+		return fmt.Sprintf("%.2fus", t.Micros())
+	case t < Millisecond:
+		return fmt.Sprintf("%.1fus", t.Micros())
+	case t < Second:
+		return fmt.Sprintf("%.2fms", t.Millis())
+	default:
+		return fmt.Sprintf("%.3fs", t.Seconds())
+	}
+}
+
+// MaxTime returns the later of a and b.
+func MaxTime(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Category classifies where a cost was incurred.  The categories mirror the
+// breakdown columns of the paper's Table 4.
+type Category int
+
+const (
+	// CatLocal is processing inside the CableS library on the calling node.
+	CatLocal Category = iota
+	// CatRemote is processing inside the CableS library on a remote node.
+	CatRemote
+	// CatLocalOS is time spent in operating-system services on the calling
+	// node (thread creation, virtual-memory mapping, ...).
+	CatLocalOS
+	// CatRemoteOS is operating-system time on a remote node.
+	CatRemoteOS
+	// CatComm is network communication time (VMMC operations).
+	CatComm
+	// CatCompute is application computation.
+	CatCompute
+	// CatWait is time spent blocked on synchronization (lock hand-off delay,
+	// barrier imbalance, condition waits).
+	CatWait
+	numCategories
+)
+
+// NumCategories is the number of distinct cost categories.
+const NumCategories = int(numCategories)
+
+var categoryNames = [NumCategories]string{
+	"local", "remote", "localOS", "remoteOS", "comm", "compute", "wait",
+}
+
+// String returns the short name of the category.
+func (c Category) String() string {
+	if c < 0 || int(c) >= NumCategories {
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+	return categoryNames[c]
+}
+
+// Breakdown accumulates virtual time per cost category.
+type Breakdown [NumCategories]Time
+
+// Add accumulates d into category c.
+func (b *Breakdown) Add(c Category, d Time) { b[c] += d }
+
+// AddAll accumulates every category of o into b.
+func (b *Breakdown) AddAll(o *Breakdown) {
+	for i := range b {
+		b[i] += o[i]
+	}
+}
+
+// Total returns the sum over all categories.
+func (b *Breakdown) Total() Time {
+	var t Time
+	for _, v := range b {
+		t += v
+	}
+	return t
+}
+
+// Sub returns b - o, category-wise.
+func (b Breakdown) Sub(o Breakdown) Breakdown {
+	for i := range b {
+		b[i] -= o[i]
+	}
+	return b
+}
+
+// String lists the non-zero categories.
+func (b Breakdown) String() string {
+	s := ""
+	for i, v := range b {
+		if v != 0 {
+			if s != "" {
+				s += " "
+			}
+			s += fmt.Sprintf("%s=%s", Category(i), v)
+		}
+	}
+	if s == "" {
+		return "(zero)"
+	}
+	return s
+}

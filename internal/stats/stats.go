@@ -1,0 +1,151 @@
+// Package stats collects event counters and formats the experiment tables.
+// Counters are atomic so that every layer (VMMC, protocol, CableS) can bump
+// them from concurrently running simulated threads.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counters aggregates system-wide event counts for one application run.
+type Counters struct {
+	// Communication layer.
+	MessagesSent  atomic.Int64
+	BytesSent     atomic.Int64
+	Fetches       atomic.Int64
+	BytesFetched  atomic.Int64
+	Notifications atomic.Int64
+
+	// SVM protocol.
+	PageFaults       atomic.Int64 // all page faults taken
+	RemotePageFaults atomic.Int64 // faults served by a remote home
+	DiffsSent        atomic.Int64
+	DiffBytes        atomic.Int64
+	Invalidations    atomic.Int64
+	WriteNotices     atomic.Int64
+
+	// Synchronization.
+	LockAcquires       atomic.Int64
+	RemoteLockAcquires atomic.Int64
+	Barriers           atomic.Int64
+	CondWaits          atomic.Int64
+	CondSignals        atomic.Int64
+
+	// CableS management.
+	ThreadsCreated  atomic.Int64
+	NodesAttached   atomic.Int64
+	SegMigrations   atomic.Int64
+	OwnerDetects    atomic.Int64
+	AdminRequests   atomic.Int64
+	SharedAllocated atomic.Int64 // bytes of global shared memory allocated
+}
+
+// Snapshot returns the counters as a name->value map, for reporting.
+func (c *Counters) Snapshot() map[string]int64 {
+	return map[string]int64{
+		"messages":       c.MessagesSent.Load(),
+		"bytesSent":      c.BytesSent.Load(),
+		"fetches":        c.Fetches.Load(),
+		"bytesFetched":   c.BytesFetched.Load(),
+		"notifications":  c.Notifications.Load(),
+		"pageFaults":     c.PageFaults.Load(),
+		"remoteFaults":   c.RemotePageFaults.Load(),
+		"diffs":          c.DiffsSent.Load(),
+		"diffBytes":      c.DiffBytes.Load(),
+		"invalidations":  c.Invalidations.Load(),
+		"writeNotices":   c.WriteNotices.Load(),
+		"lockAcquires":   c.LockAcquires.Load(),
+		"remoteLocks":    c.RemoteLockAcquires.Load(),
+		"barriers":       c.Barriers.Load(),
+		"condWaits":      c.CondWaits.Load(),
+		"condSignals":    c.CondSignals.Load(),
+		"threadsCreated": c.ThreadsCreated.Load(),
+		"nodesAttached":  c.NodesAttached.Load(),
+		"segMigrations":  c.SegMigrations.Load(),
+		"ownerDetects":   c.OwnerDetects.Load(),
+		"adminRequests":  c.AdminRequests.Load(),
+		"sharedBytes":    c.SharedAllocated.Load(),
+	}
+}
+
+// String lists the non-zero counters in sorted order.
+func (c *Counters) String() string {
+	m := c.Snapshot()
+	keys := make([]string, 0, len(m))
+	for k, v := range m {
+		if v != 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s=%d", k, m[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// Table is a minimal fixed-width text table writer used by the experiment
+// harness to print rows in the shape of the paper's tables.
+type Table struct {
+	mu     sync.Mutex
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends one row; cells beyond the header width are dropped.
+func (t *Table) AddRow(cells ...string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(cells) > len(t.header) {
+		cells = cells[:len(t.header)]
+	}
+	row := make([]string, len(t.header))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	width := make([]int, len(t.header))
+	for i, h := range t.header {
+		width[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	total := 0
+	for _, w := range width {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,118 @@
+// Package trace provides a bounded in-memory event trace for the SVM
+// protocol: page faults, diffs, invalidations and synchronization events
+// with virtual timestamps.  It exists for debugging protocol behavior and
+// for inspecting experiment runs (`cablesim counters -trace`).
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"cables/internal/sim"
+)
+
+// Kind classifies trace events.
+type Kind string
+
+// Event kinds emitted by the protocol layers.
+const (
+	KindFault      Kind = "fault"      // page fault taken
+	KindRemoteFill Kind = "fill"       // page fetched from a remote home
+	KindDiff       Kind = "diff"       // diff applied to a home
+	KindInvalidate Kind = "invalidate" // copy dropped at an acquire
+	KindBarrier    Kind = "barrier"    // barrier departure
+	KindLock       Kind = "lock"       // lock acquired
+	KindMigrate    Kind = "migrate"    // home moved
+)
+
+// Event is one protocol occurrence.
+type Event struct {
+	At   sim.Time
+	Node int
+	Kind Kind
+	Arg  uint64 // page id, lock id, ... depending on Kind
+}
+
+// String renders the event compactly.
+func (e Event) String() string {
+	return fmt.Sprintf("%-10v n%d %-10s %#x", e.At, e.Node, e.Kind, e.Arg)
+}
+
+// Ring is a fixed-capacity, concurrency-safe event buffer; when full, the
+// oldest events are overwritten.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	wrapped bool
+	dropped int64
+}
+
+// NewRing creates a ring holding up to capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Add records an event.
+func (r *Ring) Add(at sim.Time, node int, kind Kind, arg uint64) {
+	r.mu.Lock()
+	if r.wrapped {
+		r.dropped++
+	}
+	r.buf[r.next] = Event{At: at, Node: node, Kind: kind, Arg: arg}
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.wrapped = true
+	}
+	r.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.wrapped {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Dropped reports how many events were overwritten.
+func (r *Ring) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Counts aggregates retained events per kind.
+func (r *Ring) Counts() map[Kind]int {
+	m := make(map[Kind]int)
+	for _, e := range r.Events() {
+		m[e.Kind]++
+	}
+	return m
+}
+
+// Tail renders the most recent n events.
+func (r *Ring) Tail(n int) string {
+	evs := r.Events()
+	if n > 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	var b strings.Builder
+	for _, e := range evs {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

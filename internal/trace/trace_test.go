@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"cables/internal/sim"
+)
+
+func TestRingOrderAndWrap(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 6; i++ {
+		r.Add(sim.Time(i), i, KindFault, uint64(i))
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events", len(evs))
+	}
+	for i, e := range evs {
+		if e.Arg != uint64(i+2) {
+			t.Errorf("event %d arg %d, want %d (oldest-first after wrap)", i, e.Arg, i+2)
+		}
+	}
+	if r.Dropped() != 2 {
+		t.Errorf("dropped: %d", r.Dropped())
+	}
+}
+
+func TestRingNoWrap(t *testing.T) {
+	r := NewRing(8)
+	r.Add(5, 1, KindDiff, 42)
+	r.Add(9, 2, KindBarrier, 0)
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Kind != KindDiff || evs[1].Kind != KindBarrier {
+		t.Fatalf("events: %v", evs)
+	}
+	if r.Dropped() != 0 {
+		t.Error("dropped should be zero")
+	}
+}
+
+func TestCountsAndTail(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 3; i++ {
+		r.Add(sim.Time(i), 0, KindInvalidate, uint64(i))
+	}
+	r.Add(10, 1, KindLock, 7)
+	c := r.Counts()
+	if c[KindInvalidate] != 3 || c[KindLock] != 1 {
+		t.Errorf("counts: %v", c)
+	}
+	tail := r.Tail(2)
+	if !strings.Contains(tail, "lock") || strings.Count(tail, "\n") != 2 {
+		t.Errorf("tail:\n%s", tail)
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Add(sim.Time(i), 0, KindFault, uint64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(r.Events()); got != 64 {
+		t.Errorf("retained: %d", got)
+	}
+	if r.Dropped() != 8*100-64 {
+		t.Errorf("dropped: %d", r.Dropped())
+	}
+}
+
+func TestZeroCapacityDefaults(t *testing.T) {
+	r := NewRing(0)
+	r.Add(1, 0, KindMigrate, 1)
+	if len(r.Events()) != 1 {
+		t.Error("default-capacity ring broken")
+	}
+}
