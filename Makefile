@@ -1,0 +1,33 @@
+# Developer entry points.  `make check` is the CI gate: vet + build + tests
+# + race on the protocol-critical packages + a 1-iteration smoke run of the
+# hostperf data-plane benchmarks (catches bit-rot in the benchmark harness
+# without paying full benchmark time).
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke bench hostperf
+
+check: vet build test race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/genima/... ./internal/memsys/... ./internal/core/...
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench=. -benchtime=1x ./internal/bench/hostperf/
+
+# Full host-time benchmark suite; rewrites BENCH_dataplane.json (the perf
+# trajectory artifact — commit it so successive PRs can compare).
+hostperf:
+	$(GO) run ./cmd/cablesim hostperf
+
+# The paper-reproduction benchmarks (virtual time).
+bench:
+	$(GO) test -bench=. -benchmem .

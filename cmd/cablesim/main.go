@@ -10,11 +10,15 @@
 //	cablesim fig5 [-scale s] [-apps FFT,LU,...] [-procs 1,4,8]
 //	cablesim fig6 [-scale s] [-apps ...] [-procs ...] [-gran 4096]
 //	cablesim limits                 # Tables 1/2 registration-limit demo
-//	cablesim all [-scale s]         # everything above
+//	cablesim hostperf [-o file]     # host-time data-plane benchmarks → JSON
+//	cablesim all [-scale s]         # everything above (not hostperf)
 //
 // -scale is "test" (fast) or "paper" (scaled evaluation sizes, default).
 // -gran overrides the OS mapping granularity in bytes (64 KB default;
 // 4096 emulates the paper's planned Linux port) for fig5/fig6.
+// -o is where hostperf writes its report (default BENCH_dataplane.json);
+// hostperf measures simulator wall-clock only and never changes any
+// virtual-time result.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"strings"
 
 	"cables/internal/bench"
+	"cables/internal/bench/hostperf"
 	"cables/internal/sim"
 )
 
@@ -39,6 +44,7 @@ func main() {
 	apps := fs.String("apps", "", "comma-separated application list (fig5/fig6)")
 	procs := fs.String("procs", "", "comma-separated processor counts (fig5/fig6)")
 	gran := fs.Int("gran", 0, "OS mapping granularity in bytes (default 64 KB)")
+	out := fs.String("o", "BENCH_dataplane.json", "hostperf report path")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -78,6 +84,12 @@ func main() {
 		bench.Fig6(w, data, procList)
 	case "limits":
 		bench.Limits(w)
+	case "hostperf":
+		if err := hostperf.WriteFile(*out, w); err != nil {
+			fmt.Fprintf(os.Stderr, "cablesim: hostperf: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "wrote %s\n", *out)
 	case "counters":
 		runCounters(w, appList, procList, sc, costs)
 	case "all":
@@ -143,6 +155,6 @@ func parseInts(s string) []int {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: cablesim <table3|counters|table4|table5|table6|fig5|fig6|fig5+6|limits|all> [flags]
-flags: -scale test|paper  -apps A,B  -procs 1,4,8  -gran bytes`)
+	fmt.Fprintln(os.Stderr, `usage: cablesim <table3|counters|table4|table5|table6|fig5|fig6|fig5+6|limits|hostperf|all> [flags]
+flags: -scale test|paper  -apps A,B  -procs 1,4,8  -gran bytes  -o report.json`)
 }

@@ -1,0 +1,291 @@
+// Package hostperf measures the host-side (wall-clock) performance of the
+// SVM data plane: the diff kernel, the flush and acquire paths, and two
+// end-to-end applications.  These are ns/op and allocs/op of the simulator
+// itself — NOT virtual time.  The virtual-time quantities (every table and
+// figure) must be unaffected by anything tuned here; see DESIGN.md §5b.
+//
+// The same benchmark bodies back three entry points:
+//
+//   - `go test -bench=. ./internal/bench/hostperf` (and -benchtime=1x as a
+//     smoke test in `make check`);
+//   - the root-level Benchmark wrappers in bench_test.go;
+//   - `cablesim hostperf`, which runs the suite via testing.Benchmark and
+//     writes BENCH_dataplane.json so successive PRs accumulate a perf
+//     trajectory.
+package hostperf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"cables/internal/bench"
+	"cables/internal/m4"
+	"cables/internal/memsys"
+	"cables/internal/sim"
+)
+
+// Case is one named host-perf benchmark.
+type Case struct {
+	Name string
+	Fn   func(b *testing.B)
+}
+
+// Cases returns the data-plane benchmark suite in reporting order.
+func Cases() []Case {
+	return []Case{
+		{"diff/kernel/clean", DiffKernelClean},
+		{"diff/ref/clean", DiffRefClean},
+		{"diff/kernel/sparse", DiffKernelSparse},
+		{"diff/ref/sparse", DiffRefSparse},
+		{"diff/kernel/dense", DiffKernelDense},
+		{"diff/ref/dense", DiffRefDense},
+		{"flush", Flush},
+		{"acquire", Acquire},
+		{"e2e/fft", E2EFFT},
+		{"e2e/ocean", E2EOcean},
+	}
+}
+
+// --- Diff kernel microbenchmarks ---
+
+// diffInput builds a (data, twin, home) triple with the given dirty shape.
+func diffInput(kind string) (data, twin, home []byte) {
+	r := rand.New(rand.NewSource(42))
+	twin = make([]byte, memsys.PageSize)
+	r.Read(twin)
+	home = make([]byte, memsys.PageSize)
+	r.Read(home)
+	data = append([]byte(nil), twin...)
+	switch kind {
+	case "clean":
+		// identical pages: the common false-alarm flush
+	case "sparse":
+		// a handful of scattered scalar writes, the lock-protected-counter shape
+		for i := 0; i < 8; i++ {
+			off := r.Intn(memsys.PageSize - 8)
+			r.Read(data[off : off+8])
+		}
+	case "dense":
+		// fully rewritten page, the bulk-phase shape
+		r.Read(data)
+	default:
+		panic("hostperf: unknown diff input " + kind)
+	}
+	return data, twin, home
+}
+
+func benchDiff(b *testing.B, kind string, fn func(data, twin, home []byte) int) {
+	data, twin, home := diffInput(kind)
+	b.SetBytes(memsys.PageSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += fn(data, twin, home)
+	}
+	_ = sink
+}
+
+// DiffKernelClean benchmarks the word-level kernel on an unchanged page.
+func DiffKernelClean(b *testing.B) { benchDiff(b, "clean", memsys.DiffPage) }
+
+// DiffRefClean benchmarks the byte-wise reference on an unchanged page.
+func DiffRefClean(b *testing.B) { benchDiff(b, "clean", memsys.DiffPageRef) }
+
+// DiffKernelSparse benchmarks the kernel on a page with 8 scattered dirty words.
+func DiffKernelSparse(b *testing.B) { benchDiff(b, "sparse", memsys.DiffPage) }
+
+// DiffRefSparse benchmarks the reference on the same sparse page.
+func DiffRefSparse(b *testing.B) { benchDiff(b, "sparse", memsys.DiffPageRef) }
+
+// DiffKernelDense benchmarks the kernel on a fully rewritten page.
+func DiffKernelDense(b *testing.B) { benchDiff(b, "dense", memsys.DiffPage) }
+
+// DiffRefDense benchmarks the reference on the same dense page.
+func DiffRefDense(b *testing.B) { benchDiff(b, "dense", memsys.DiffPageRef) }
+
+// --- Protocol-path benchmarks ---
+
+// Flush measures the release-side path: a non-home writer dirties 8 pages
+// (sparse stores) and flushes the interval; per op that is 8 twin captures,
+// 8 diffs applied to remote homes, and one write-notice publication.
+func Flush(b *testing.B) {
+	rt := m4.New(m4.Config{Procs: 4, ProcsPerNode: 2, ArenaBytes: 32 << 20})
+	main := rt.Main()
+	acc := rt.Acc()
+	addr, err := rt.Malloc(main, "flushbench", 8<<12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Home the pages on node 0 so the node-1 writer must twin + diff.
+	for i := 0; i < 8; i++ {
+		acc.WriteI64(main, addr+memsys.Addr(i<<12), 1)
+	}
+	rt.Protocol().Flush(main)
+	rt.Spawn(main, func(th *sim.Task) {}) // occupy the node-0 worker slot
+	var wg sync.WaitGroup
+	wg.Add(1)
+	rt.Spawn(main, func(th *sim.Task) {
+		defer wg.Done()
+		if th.NodeID == 0 {
+			b.Error("worker landed on node 0")
+			return
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for p := 0; p < 8; p++ {
+				for w := 0; w < 512; w += 3 {
+					acc.WriteI64(th, addr+memsys.Addr(p<<12+w*8), int64(i+w))
+				}
+			}
+			rt.Protocol().Flush(th)
+		}
+	})
+	wg.Wait()
+}
+
+// Acquire measures the acquire-side path with a strict 2-node lock
+// ping-pong: each op is one lock round trip — acquire (invalidate the
+// peer's last interval), four scalar updates, release (flush).
+func Acquire(b *testing.B) {
+	rt := m4.New(m4.Config{Procs: 2, ProcsPerNode: 1, ArenaBytes: 16 << 20})
+	main := rt.Main()
+	acc := rt.Acc()
+	addr, err := rt.Malloc(main, "acqbench", 4<<12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		acc.WriteI64(main, addr+memsys.Addr(i<<12), 0)
+	}
+	rt.Protocol().Flush(main)
+
+	turn := [2]chan struct{}{make(chan struct{}, 1), make(chan struct{}, 1)}
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		w := w
+		wg.Add(1)
+		rt.Spawn(main, func(th *sim.Task) {
+			defer wg.Done()
+			if w == 0 {
+				b.ReportAllocs()
+				b.ResetTimer()
+			}
+			for i := 0; i < b.N; i++ {
+				<-turn[w]
+				rt.Lock(th, 1)
+				for s := 0; s < 4; s++ {
+					v := acc.ReadI64(th, addr+memsys.Addr(s<<12))
+					acc.WriteI64(th, addr+memsys.Addr(s<<12), v+1)
+				}
+				rt.Unlock(th, 1)
+				turn[1-w] <- struct{}{}
+			}
+		})
+	}
+	turn[0] <- struct{}{}
+	wg.Wait()
+}
+
+// --- End-to-end application benchmarks ---
+
+func benchApp(b *testing.B, app string) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.RunApp(app, bench.BackendGenima, 8, bench.ScaleTest, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E2EFFT runs the whole FFT reproduction (genima backend, 8 procs, test
+// scale) per op — the end-to-end wall-clock cost of a simulated run.
+func E2EFFT(b *testing.B) { benchApp(b, "FFT") }
+
+// E2EOcean runs OCEAN end-to-end per op.
+func E2EOcean(b *testing.B) { benchApp(b, "OCEAN") }
+
+// --- Report generation ---
+
+// Metric is one benchmark's host-time result.
+type Metric struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	N           int     `json:"n"`
+}
+
+// Report is the BENCH_dataplane.json schema.  Derived holds the headline
+// ratios future PRs watch: kernel-vs-reference diff speedups and the
+// allocation rate of the flush path.
+type Report struct {
+	Go         string             `json:"go"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Benchmarks map[string]Metric  `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived"`
+}
+
+// Run executes the full suite via testing.Benchmark and assembles a Report.
+func Run() Report {
+	rep := Report{
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: make(map[string]Metric),
+		Derived:    make(map[string]float64),
+	}
+	for _, c := range Cases() {
+		r := testing.Benchmark(c.Fn)
+		rep.Benchmarks[c.Name] = Metric{
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			N:           r.N,
+		}
+	}
+	for _, kind := range []string{"clean", "sparse", "dense"} {
+		ref := rep.Benchmarks["diff/ref/"+kind]
+		ker := rep.Benchmarks["diff/kernel/"+kind]
+		if ker.NsPerOp > 0 {
+			rep.Derived["diff_speedup_"+kind] = ref.NsPerOp / ker.NsPerOp
+		}
+	}
+	rep.Derived["flush_allocs_per_op"] = float64(rep.Benchmarks["flush"].AllocsPerOp)
+	rep.Derived["flush_bytes_per_op"] = float64(rep.Benchmarks["flush"].BytesPerOp)
+	return rep
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile runs the suite and writes the report to path, printing a
+// one-line summary per benchmark to out.
+func WriteFile(path string, out io.Writer) error {
+	// Open the output before the multi-minute suite runs, so a bad path
+	// fails immediately instead of after the benchmarks.
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rep := Run()
+	for _, c := range Cases() {
+		m := rep.Benchmarks[c.Name]
+		fmt.Fprintf(out, "%-20s %14.1f ns/op %8d B/op %6d allocs/op\n",
+			c.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+	}
+	for _, k := range []string{"diff_speedup_clean", "diff_speedup_sparse", "diff_speedup_dense"} {
+		fmt.Fprintf(out, "%-20s %14.2fx\n", k, rep.Derived[k])
+	}
+	return rep.WriteJSON(f)
+}

@@ -1,0 +1,37 @@
+package hostperf
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// BenchmarkDataplane exposes the whole suite under `go test -bench`; `make
+// check` smoke-runs it with -benchtime=1x.
+func BenchmarkDataplane(b *testing.B) {
+	for _, c := range Cases() {
+		b.Run(c.Name, c.Fn)
+	}
+}
+
+// TestReportJSONShape checks the report serializes with the fields the
+// trajectory tooling expects, without running the expensive suite.
+func TestReportJSONShape(t *testing.T) {
+	rep := Report{
+		Go:         "gotest",
+		GOMAXPROCS: 1,
+		Benchmarks: map[string]Metric{"flush": {NsPerOp: 1, AllocsPerOp: 2, BytesPerOp: 3, N: 4}},
+		Derived:    map[string]float64{"diff_speedup_dense": 5},
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Benchmarks["flush"].AllocsPerOp != 2 || back.Derived["diff_speedup_dense"] != 5 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}

@@ -15,7 +15,9 @@ package genima
 
 import (
 	"fmt"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"cables/internal/memsys"
 	"cables/internal/nodeos"
@@ -42,13 +44,32 @@ type interval struct {
 	pages []memsys.PageID
 }
 
-// nodeState is the protocol's per-node bookkeeping.
+// nodeState is the protocol's per-node bookkeeping.  The dirty set is a
+// page-order-sorted-at-flush slice deduplicated by a bitmap (the slice
+// backing ping-pongs between intervals via spare), replacing a per-interval
+// map allocation on the hot flush path.
 type nodeState struct {
-	dirtyMu sync.Mutex
-	dirty   map[memsys.PageID]struct{}
+	dirtyMu    sync.Mutex
+	dirtyPages []memsys.PageID // unique pages dirtied in the current interval
+	dirtyBits  []uint64        // bitmap over arena pages deduplicating dirtyPages
+	spare      []memsys.PageID // recycled backing array for the next interval
 
-	syncMu sync.Mutex // serializes acquire-side invalidation passes
-	seen   int        // prefix of the interval log already applied
+	syncMu     sync.Mutex      // serializes acquire-side invalidation passes
+	seen       atomic.Int64    // absolute log prefix already applied (atomic: compaction reads it cross-node)
+	invBits    []uint64        // acquire-side dedup scratch (guarded by syncMu)
+	invScratch []memsys.PageID // acquire-side invalidation list (guarded by syncMu)
+}
+
+// markDirty registers pid in the node's current interval; reports whether it
+// was newly added.  Caller holds dirtyMu.
+func (ns *nodeState) markDirty(pid memsys.PageID) bool {
+	w, m := pid>>6, uint64(1)<<(pid&63)
+	if ns.dirtyBits[w]&m != 0 {
+		return false
+	}
+	ns.dirtyBits[w] |= m
+	ns.dirtyPages = append(ns.dirtyPages, pid)
+	return true
 }
 
 // Protocol is one application's SVM protocol instance.
@@ -58,8 +79,14 @@ type Protocol struct {
 	acc   *memsys.Accessor
 	place Placement
 
-	logMu sync.RWMutex
-	log   []interval
+	logMu   sync.RWMutex
+	log     []interval
+	logBase atomic.Int64 // absolute index of log[0] (prefix truncated by compaction)
+
+	// DisableLogCompaction retains the full interval log for the run's
+	// lifetime (the pre-compaction behavior).  Used by tests and ablations
+	// as the reference the compacting implementation is compared against.
+	DisableLogCompaction bool
 
 	nodes []*nodeState
 
@@ -92,8 +119,12 @@ func New(cl *nodeos.Cluster, arenaBytes int64, place Placement) *Protocol {
 	if p.place == nil {
 		p.place = FirstTouch{}
 	}
+	words := (p.sp.NumPages() + 63) / 64
 	for i := range p.nodes {
-		p.nodes[i] = &nodeState{dirty: make(map[memsys.PageID]struct{})}
+		p.nodes[i] = &nodeState{
+			dirtyBits: make([]uint64, words),
+			invBits:   make([]uint64, words),
+		}
 	}
 	p.acc = memsys.NewAccessor(p.sp, p)
 	return p
@@ -160,8 +191,10 @@ func (p *Protocol) validate(t *sim.Task, pid memsys.PageID) *memsys.PageCopy {
 		hc.SetValid(true)
 	}
 	// Fetch into a fresh array and swap it in: readers that raced past the
-	// validity check keep the array their own acquire justified.
-	data := make([]byte, memsys.PageSize)
+	// validity check keep the array their own acquire justified.  The buffer
+	// comes from the page pool; the array it replaces may still be read by
+	// such racing readers, so it is never returned there.
+	data := memsys.GetPageBuf()
 	copy(data, hc.Data())
 	pc.ReplaceData(data)
 	hc.Mu.Unlock()
@@ -192,7 +225,7 @@ func (p *Protocol) WriteFault(t *sim.Task, pid memsys.PageID) {
 	pc.Mu.Lock()
 	if !pc.Written() {
 		if p.sp.Home(pid) != t.NodeID {
-			twin := make([]byte, memsys.PageSize)
+			twin := memsys.GetPageBuf()
 			copy(twin, pc.Data())
 			pc.Twin = twin
 			t.Charge(sim.CatLocal, sim.Time(memsys.PageSize)) // twin copy
@@ -200,7 +233,7 @@ func (p *Protocol) WriteFault(t *sim.Task, pid memsys.PageID) {
 		pc.SetWritten(true)
 		ns := p.nodes[t.NodeID]
 		ns.dirtyMu.Lock()
-		ns.dirty[pid] = struct{}{}
+		ns.markDirty(pid)
 		ns.dirtyMu.Unlock()
 	}
 	pc.Mu.Unlock()
@@ -214,22 +247,37 @@ func (p *Protocol) Flush(t *sim.Task) {
 	ns := p.nodes[node]
 
 	ns.dirtyMu.Lock()
-	if len(ns.dirty) == 0 {
+	if len(ns.dirtyPages) == 0 {
 		ns.dirtyMu.Unlock()
 		return
 	}
-	dirty := ns.dirty
-	ns.dirty = make(map[memsys.PageID]struct{})
+	// Take the interval's page list and clear its bitmap in one step, so a
+	// concurrent WriteFault re-registers any page it redirties from here on
+	// (exactly the semantics the old map swap gave).
+	work := ns.dirtyPages
+	ns.dirtyPages = ns.spare[:0]
+	ns.spare = nil
+	for _, pid := range work {
+		ns.dirtyBits[pid>>6] &^= uint64(1) << (pid & 63)
+	}
 	ns.dirtyMu.Unlock()
 
+	slices.Sort(work) // deterministic flush/notice order
+
 	p.acc.FlushBegin(node)
-	pages := make([]memsys.PageID, 0, len(dirty))
-	for pid := range dirty {
+	pages := make([]memsys.PageID, 0, len(work))
+	for _, pid := range work {
 		if p.flushPage(t, node, pid) {
 			pages = append(pages, pid)
 		}
 	}
 	p.acc.FlushEnd(node)
+
+	ns.dirtyMu.Lock()
+	if ns.spare == nil {
+		ns.spare = work[:0]
+	}
+	ns.dirtyMu.Unlock()
 
 	if len(pages) > 0 {
 		p.logMu.Lock()
@@ -248,42 +296,49 @@ func (p *Protocol) flushPage(t *sim.Task, node int, pid memsys.PageID) bool {
 	if !pc.Written() {
 		return false
 	}
-	home := p.sp.Home(pid)
-	if home == node {
+	if p.sp.Home(pid) == node {
 		// Home writes are already in place; only a notice is needed.
+		pc.RetireTwin() // possible only after a migration moved the home here
 		pc.SetWritten(false)
 		return true
 	}
 	if pc.Twin == nil || pc.Data() == nil {
+		pc.RetireTwin()
 		pc.SetWritten(false)
 		return false
 	}
-	diffBytes := 0
+	if p.diffToHome(t, node, pid, pc) == 0 {
+		return false
+	}
+	if p.Trace != nil {
+		p.Trace.Add(t.Now(), node, trace.KindDiff, uint64(pid))
+	}
+	return true
+}
+
+// diffToHome runs the diff kernel for pc against its twin, merges the dirty
+// runs into the home copy, charges the (byte-exact) diff cost, and retires
+// the twin to the page pool.  Both flushPage and forceDiffLocked funnel
+// through here — it is the only place a diff is computed.  Caller holds
+// pc.Mu; pc must have both data and twin, and the home must be remote.
+func (p *Protocol) diffToHome(t *sim.Task, node int, pid memsys.PageID, pc *memsys.PageCopy) int {
+	home := p.sp.Home(pid)
 	hc := p.sp.Copy(home, pid)
 	hc.Mu.Lock()
 	hd := hc.EnsureData()
-	pd := pc.Data()
-	for i := 0; i < memsys.PageSize; i++ {
-		if pd[i] != pc.Twin[i] {
-			hd[i] = pd[i]
-			diffBytes++
-		}
-	}
+	diffBytes := memsys.DiffPage(pc.Data(), pc.Twin, hd)
 	hc.SetValid(true)
 	hc.Mu.Unlock()
-	pc.Twin = nil
+	pc.RetireTwin()
 	pc.SetWritten(false)
 	if diffBytes == 0 {
-		return false
+		return 0
 	}
 	t.Charge(sim.CatLocal, p.cl.Costs.DiffTime(diffBytes))
 	p.cl.VMMC.RemoteWrite(t, home, diffBytes+16)
 	p.cl.Ctr.DiffsSent.Add(1)
 	p.cl.Ctr.DiffBytes.Add(int64(diffBytes))
-	if p.Trace != nil {
-		p.Trace.Add(t.Now(), node, trace.KindDiff, uint64(pid))
-	}
-	return true
+	return diffBytes
 }
 
 // ApplyAcquire brings the node up to date with the interval log: all pages
@@ -297,25 +352,37 @@ func (p *Protocol) ApplyAcquire(t *sim.Task) {
 	defer ns.syncMu.Unlock()
 
 	p.logMu.RLock()
-	end := len(p.log)
-	pending := p.log[ns.seen:end]
+	base := p.logBase.Load()
+	end := base + int64(len(p.log))
+	// ns.seen >= base always: compaction truncates only below the minimum
+	// seen across nodes, so the unseen suffix is intact.
+	pending := p.log[ns.seen.Load()-base : end-base]
 	p.logMu.RUnlock()
 	if len(pending) == 0 {
 		return
 	}
 
+	// The invalidation list is deduplicated through a reusable bitmap and
+	// accumulated into a scratch slice kept across acquires, so the pass
+	// costs O(unseen pages) with no per-acquire allocation in steady state.
 	notices := 0
-	var invalidate []memsys.PageID
+	invalidate := ns.invScratch[:0]
 	for _, iv := range pending {
 		if iv.node == node {
 			continue
 		}
 		for _, pid := range iv.pages {
 			if p.sp.Home(pid) != node {
-				invalidate = append(invalidate, pid)
+				if w, m := pid>>6, uint64(1)<<(pid&63); ns.invBits[w]&m == 0 {
+					ns.invBits[w] |= m
+					invalidate = append(invalidate, pid)
+				}
 			}
 			notices++
 		}
+	}
+	for _, pid := range invalidate {
+		ns.invBits[pid>>6] &^= uint64(1) << (pid & 63)
 	}
 	if len(invalidate) > 0 {
 		p.acc.FlushBegin(node)
@@ -334,46 +401,78 @@ func (p *Protocol) ApplyAcquire(t *sim.Task) {
 					p.Trace.Add(t.Now(), node, trace.KindInvalidate, uint64(pid))
 				}
 			}
-			pc.Twin = nil
+			pc.RetireTwin()
 			pc.Mu.Unlock()
 		}
 		p.acc.FlushEnd(node)
 	}
-	ns.seen = end
+	ns.invScratch = invalidate[:0]
+	ns.seen.Store(end)
 	t.Charge(sim.CatLocal, p.cl.Costs.WriteNotice*sim.Time(notices))
+	p.maybeCompactLog()
 }
 
 // forceDiffLocked flushes one page's diff with pc.Mu already held.
 func (p *Protocol) forceDiffLocked(t *sim.Task, node int, pid memsys.PageID, pc *memsys.PageCopy) {
-	home := p.sp.Home(pid)
-	if home == node || pc.Twin == nil {
+	if p.sp.Home(pid) == node || pc.Twin == nil {
 		pc.SetWritten(false)
 		return
 	}
-	diffBytes := 0
-	hc := p.sp.Copy(home, pid)
-	hc.Mu.Lock()
-	hd := hc.EnsureData()
-	pd := pc.Data()
-	for i := 0; i < memsys.PageSize; i++ {
-		if pd[i] != pc.Twin[i] {
-			hd[i] = pd[i]
-			diffBytes++
-		}
-	}
-	hc.SetValid(true)
-	hc.Mu.Unlock()
-	pc.SetWritten(false)
+	p.diffToHome(t, node, pid, pc)
 	ns := p.nodes[node]
 	ns.dirtyMu.Lock()
-	delete(ns.dirty, pid)
+	ns.dirtyBits[pid>>6] &^= uint64(1) << (pid & 63)
 	ns.dirtyMu.Unlock()
-	if diffBytes > 0 {
-		t.Charge(sim.CatLocal, p.cl.Costs.DiffTime(diffBytes))
-		p.cl.VMMC.RemoteWrite(t, home, diffBytes+16)
-		p.cl.Ctr.DiffsSent.Add(1)
-		p.cl.Ctr.DiffBytes.Add(int64(diffBytes))
+}
+
+// logCompactThreshold is how many fully-applied intervals may accumulate
+// before the log's prefix is truncated.  Small enough to bound memory on
+// lock ping-pong workloads, large enough that compaction (an exclusive-lock
+// copy) stays off the per-acquire fast path.
+const logCompactThreshold = 256
+
+// maybeCompactLog truncates the interval-log prefix that every node has
+// already applied, keeping len(p.log) proportional to the unseen suffix
+// instead of total history.  Readers hold snapshots of the old backing
+// array, so the survivors are copied into a fresh slice rather than shifted
+// in place.
+func (p *Protocol) maybeCompactLog() {
+	if p.DisableLogCompaction {
+		return
 	}
+	min := int64(-1)
+	for _, n := range p.nodes {
+		if s := n.seen.Load(); min < 0 || s < min {
+			min = s
+		}
+	}
+	if min-p.logBase.Load() < logCompactThreshold {
+		return
+	}
+	p.logMu.Lock()
+	base := p.logBase.Load()
+	min = base + int64(len(p.log))
+	for _, n := range p.nodes { // re-read under the lock; seen only grows
+		if s := n.seen.Load(); s < min {
+			min = s
+		}
+	}
+	if k := min - base; k > 0 {
+		rest := make([]interval, int64(len(p.log))-k)
+		copy(rest, p.log[k:])
+		p.log = rest
+		p.logBase.Store(min)
+	}
+	p.logMu.Unlock()
+}
+
+// LogLen returns the number of intervals currently retained in the log —
+// after compaction, the unseen suffix plus at most logCompactThreshold
+// applied ones.
+func (p *Protocol) LogLen() int {
+	p.logMu.RLock()
+	defer p.logMu.RUnlock()
+	return len(p.log)
 }
 
 // PublishInvalidate appends a synthetic write notice for pid attributed to

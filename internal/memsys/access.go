@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sync"
 
 	"cables/internal/sim"
 )
@@ -19,44 +18,28 @@ type FaultHandler interface {
 	WriteFault(t *sim.Task, pid PageID)
 }
 
-// flushLocks gives each node a writer/flusher lock: shared-memory writes
-// hold it shared, interval flushes hold it exclusively, so a flush observes
-// a stable page image (avoids lost updates between same-node threads).
-type flushLocks struct{ mu []sync.RWMutex }
-
-var flushRegistry sync.Map // *Space -> *flushLocks
-
-func locksFor(s *Space) *flushLocks {
-	if v, ok := flushRegistry.Load(s); ok {
-		return v.(*flushLocks)
-	}
-	fl := &flushLocks{mu: make([]sync.RWMutex, s.nodes)}
-	actual, _ := flushRegistry.LoadOrStore(s, fl)
-	return actual.(*flushLocks)
-}
-
 // Accessor is the application-facing view of the shared address space for
 // one protocol backend.  All simulated shared-memory accesses go through it;
 // it implements the page-fault check that VM hardware performs in the real
-// system.
+// system.  The per-node writer/flusher locks live in the Space itself
+// (Space.flush), so an accessor is just the (space, handler) pair and spaces
+// are garbage-collected normally when dropped.
 type Accessor struct {
 	Sp *Space
 	H  FaultHandler
-
-	locks *flushLocks
 }
 
 // NewAccessor binds a space to a protocol fault handler.
 func NewAccessor(sp *Space, h FaultHandler) *Accessor {
-	return &Accessor{Sp: sp, H: h, locks: locksFor(sp)}
+	return &Accessor{Sp: sp, H: h}
 }
 
 // FlushBegin takes the node's flush lock exclusively; the protocol calls it
 // around interval flushes.
-func (a *Accessor) FlushBegin(node int) { a.locks.mu[node].Lock() }
+func (a *Accessor) FlushBegin(node int) { a.Sp.flush[node].Lock() }
 
 // FlushEnd releases the flush lock.
-func (a *Accessor) FlushEnd(node int) { a.locks.mu[node].Unlock() }
+func (a *Accessor) FlushEnd(node int) { a.Sp.flush[node].Unlock() }
 
 func (a *Accessor) check(addr Addr, size int) (PageID, int) {
 	if addr&(Addr(size)-1) != 0 {
@@ -83,16 +66,16 @@ func (a *Accessor) pageForRead(t *sim.Task, pid PageID) *PageCopy {
 func (a *Accessor) pageForWrite(t *sim.Task, pid PageID) *PageCopy {
 	pc := a.Sp.Copy(t.NodeID, pid)
 	for {
-		a.locks.mu[t.NodeID].RLock()
+		a.Sp.flush[t.NodeID].RLock()
 		if pc.Valid() && pc.Written() {
 			return pc
 		}
-		a.locks.mu[t.NodeID].RUnlock()
+		a.Sp.flush[t.NodeID].RUnlock()
 		a.H.WriteFault(t, pid)
 	}
 }
 
-func (a *Accessor) writeEnd(node int) { a.locks.mu[node].RUnlock() }
+func (a *Accessor) writeEnd(node int) { a.Sp.flush[node].RUnlock() }
 
 // --- Scalar accessors ---
 

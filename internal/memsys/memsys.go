@@ -98,6 +98,14 @@ type Space struct {
 	// pages[node][pid] is node's copy of page pid, created on demand.
 	pages [][]atomic.Pointer[PageCopy]
 
+	// flush[node] is the node's writer/flusher lock: shared-memory stores
+	// hold it shared, interval flushes hold it exclusively, so a flush
+	// observes a stable page image (avoids lost updates between same-node
+	// threads).  Owned by the space so its lifetime matches the pages it
+	// guards (it used to live in a process-global registry keyed by *Space,
+	// which retained every space ever created).
+	flush []sync.RWMutex
+
 	// home[pid] is the node holding the primary copy, or NoHome.
 	home []atomic.Int32
 	// toucher[pid] is the node that first accessed the page, recorded at
@@ -128,6 +136,7 @@ func NewSpace(nodes int, size int64) *Space {
 		size:     int64(np) * PageSize,
 		numPages: np,
 		pages:    make([][]atomic.Pointer[PageCopy], nodes),
+		flush:    make([]sync.RWMutex, nodes),
 		home:     make([]atomic.Int32, np),
 		toucher:  make([]atomic.Int32, np),
 		next:     SpaceBase,
