@@ -18,7 +18,9 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/genima/... ./internal/memsys/... ./internal/core/...
+	$(GO) test -race ./internal/genima/... ./internal/memsys/... ./internal/core/... \
+		./internal/san/... ./internal/vmmc/... ./internal/nodeos/...
+	$(GO) test -race -run TestFig5RaceSmoke ./internal/bench/
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./internal/bench/hostperf/

@@ -49,7 +49,7 @@ func BenchmarkTable4_BasicEvents(b *testing.B) {
 // the OpenMP programs with per-operation costs).
 func BenchmarkTable5_PthreadsPrograms(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		bench.Table5(io.Discard, scale())
+		bench.Table5(io.Discard, scale(), 1)
 	}
 }
 
@@ -57,7 +57,7 @@ func BenchmarkTable5_PthreadsPrograms(b *testing.B) {
 // speedups on 4/8/16 processors).
 func BenchmarkTable6_OpenMPSpeedups(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		bench.Table6(io.Discard, scale())
+		bench.Table6(io.Discard, scale(), 1)
 	}
 }
 

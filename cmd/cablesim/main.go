@@ -10,15 +10,20 @@
 //	cablesim fig5 [-scale s] [-apps FFT,LU,...] [-procs 1,4,8]
 //	cablesim fig6 [-scale s] [-apps ...] [-procs ...] [-gran 4096]
 //	cablesim limits                 # Tables 1/2 registration-limit demo
-//	cablesim hostperf [-o file]     # host-time data-plane benchmarks → JSON
+//	cablesim hostperf [-o file] [-compare old.json]  # host-time benchmarks → JSON
 //	cablesim all [-scale s]         # everything above (not hostperf)
 //
 // -scale is "test" (fast) or "paper" (scaled evaluation sizes, default).
 // -gran overrides the OS mapping granularity in bytes (64 KB default;
 // 4096 emulates the paper's planned Linux port) for fig5/fig6.
+// -jobs bounds how many independent simulation cells run concurrently on
+// the host (default: one per host processor).  Cells are independent
+// virtual-time experiments, so every table and figure is byte-identical
+// for any -jobs value; -jobs 1 runs the classic sequential sweep.
 // -o is where hostperf writes its report (default BENCH_dataplane.json);
 // hostperf measures simulator wall-clock only and never changes any
-// virtual-time result.
+// virtual-time result.  -compare prints ns/op and allocs/op deltas of the
+// fresh hostperf report against a previous one.
 package main
 
 import (
@@ -45,6 +50,9 @@ func main() {
 	procs := fs.String("procs", "", "comma-separated processor counts (fig5/fig6)")
 	gran := fs.Int("gran", 0, "OS mapping granularity in bytes (default 64 KB)")
 	out := fs.String("o", "BENCH_dataplane.json", "hostperf report path")
+	jobs := fs.Int("jobs", bench.DefaultJobs(),
+		"max concurrent simulation cells (1 = sequential; results are identical either way)")
+	compare := fs.String("compare", "", "hostperf: print deltas against a previous report (path to old JSON)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -69,17 +77,17 @@ func main() {
 	case "table4":
 		bench.Table4(w)
 	case "table5":
-		bench.Table5(w, sc)
+		bench.Table5(w, sc, *jobs)
 	case "table6":
-		bench.Table6(w, sc)
+		bench.Table6(w, sc, *jobs)
 	case "fig5":
-		data := bench.RunFig5(appList, procList, sc, costs)
+		data := bench.RunFig5(appList, procList, sc, costs, *jobs)
 		bench.Fig5(w, data, procList)
 	case "fig6":
-		data := bench.RunFig5(appList, procList, sc, costs)
+		data := bench.RunFig5(appList, procList, sc, costs, *jobs)
 		bench.Fig6(w, data, procList)
 	case "fig5+6":
-		data := bench.RunFig5(appList, procList, sc, costs)
+		data := bench.RunFig5(appList, procList, sc, costs, *jobs)
 		bench.Fig5(w, data, procList)
 		bench.Fig6(w, data, procList)
 	case "limits":
@@ -90,14 +98,20 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(w, "wrote %s\n", *out)
+		if *compare != "" {
+			if err := hostperf.CompareFiles(w, *compare, *out); err != nil {
+				fmt.Fprintf(os.Stderr, "cablesim: hostperf compare: %v\n", err)
+				os.Exit(1)
+			}
+		}
 	case "counters":
-		runCounters(w, appList, procList, sc, costs)
+		runCounters(w, appList, procList, sc, costs, *jobs)
 	case "all":
 		bench.Table3(w)
 		bench.Table4(w)
-		bench.Table5(w, sc)
-		bench.Table6(w, sc)
-		data := bench.RunFig5(appList, procList, sc, costs)
+		bench.Table5(w, sc, *jobs)
+		bench.Table6(w, sc, *jobs)
+		data := bench.RunFig5(appList, procList, sc, costs, *jobs)
 		bench.Fig5(w, data, procList)
 		bench.Fig6(w, data, procList)
 		bench.Limits(w)
@@ -108,25 +122,46 @@ func main() {
 }
 
 // runCounters runs applications on both backends and dumps the system
-// event counters — the protocol-level profile behind the figures.
-func runCounters(w *os.File, apps []string, procs []int, sc bench.Scale, costs *sim.Costs) {
+// event counters — the protocol-level profile behind the figures.  Cells
+// run up to jobs at a time; each cell renders its block into a slot and the
+// blocks print in the original sequential order.
+func runCounters(w *os.File, apps []string, procs []int, sc bench.Scale, costs *sim.Costs, jobs int) {
 	if len(apps) == 0 {
 		apps = bench.AppNames
 	}
 	if len(procs) == 0 {
 		procs = []int{8}
 	}
+	type spec struct {
+		app     string
+		procs   int
+		backend string
+	}
+	var specs []spec
 	for _, app := range apps {
 		for _, p := range procs {
 			for _, backend := range []string{bench.BackendGenima, bench.BackendCables} {
-				res, ctr, err := bench.RunAppCounters(app, backend, p, sc, costs)
-				if err != nil {
-					fmt.Fprintf(w, "%s/%s p=%d: FAILED: %v\n", app, backend, p, err)
-					continue
-				}
-				fmt.Fprintf(w, "%s\n  %s\n", res, ctr)
+				specs = append(specs, spec{app, p, backend})
 			}
 		}
+	}
+	blocks := make([]string, len(specs))
+	errs := bench.RunCells(jobs, len(specs), func(i int) {
+		s := specs[i]
+		res, ctr, err := bench.RunAppCounters(s.app, s.backend, s.procs, sc, costs)
+		if err != nil {
+			blocks[i] = fmt.Sprintf("%s/%s p=%d: FAILED: %v\n", s.app, s.backend, s.procs, err)
+			return
+		}
+		blocks[i] = fmt.Sprintf("%s\n  %s\n", res, ctr)
+	})
+	for i, b := range blocks {
+		if errs[i] != nil {
+			fmt.Fprintf(w, "%s/%s p=%d: FAILED: %v\n",
+				specs[i].app, specs[i].backend, specs[i].procs, errs[i])
+			continue
+		}
+		fmt.Fprint(w, b)
 	}
 }
 
@@ -156,5 +191,5 @@ func parseInts(s string) []int {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: cablesim <table3|counters|table4|table5|table6|fig5|fig6|fig5+6|limits|hostperf|all> [flags]
-flags: -scale test|paper  -apps A,B  -procs 1,4,8  -gran bytes  -o report.json`)
+flags: -scale test|paper  -apps A,B  -procs 1,4,8  -gran bytes  -jobs N  -o report.json  -compare old.json`)
 }

@@ -12,7 +12,7 @@ import (
 // (application, system) with a cell per processor count.
 func TestFig5AndFig6Formatting(t *testing.T) {
 	procs := []int{1, 4}
-	data := RunFig5([]string{"FFT"}, procs, ScaleTest, nil)
+	data := RunFig5([]string{"FFT"}, procs, ScaleTest, nil, 1)
 	f5 := Fig5(io.Discard, data, procs).String()
 	if !strings.Contains(f5, "FFT") || !strings.Contains(f5, "genima") ||
 		!strings.Contains(f5, "cables") {

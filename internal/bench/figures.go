@@ -23,26 +23,62 @@ type Fig5Cell struct {
 // Fig5Data maps app -> procs -> backend -> outcome.
 type Fig5Data map[string]map[int]map[string]Fig5Cell
 
+// fig5CellSpec identifies one (app, procs, backend) cell of the sweep.
+type fig5CellSpec struct {
+	app     string
+	procs   int
+	backend string
+}
+
+// fig5Cells flattens the sweep into a deterministic cell list.
+func fig5Cells(apps []string, procs []int) []fig5CellSpec {
+	specs := make([]fig5CellSpec, 0, len(apps)*len(procs)*2)
+	for _, app := range apps {
+		for _, p := range procs {
+			for _, backend := range []string{BackendGenima, BackendCables} {
+				specs = append(specs, fig5CellSpec{app, p, backend})
+			}
+		}
+	}
+	return specs
+}
+
 // RunFig5 executes the Figure 5 sweep (every SPLASH-2 application on both
 // systems across the processor counts) and returns the raw results; Fig5
-// and Fig6 format them.
-func RunFig5(apps []string, procs []int, scale Scale, costs *sim.Costs) Fig5Data {
+// and Fig6 format them.  Up to jobs cells run concurrently on the host;
+// each cell is an independent simulation, so the assembled data — keyed by
+// (app, procs, backend) — is identical for any jobs value (jobs <= 1 runs
+// the sweep sequentially, exactly as before).
+func RunFig5(apps []string, procs []int, scale Scale, costs *sim.Costs, jobs int) Fig5Data {
 	if len(apps) == 0 {
 		apps = AppNames
 	}
 	if len(procs) == 0 {
 		procs = ProcCounts
 	}
+	specs := fig5Cells(apps, procs)
+	cells := make([]Fig5Cell, len(specs))
+	errs := RunCells(jobs, len(specs), func(i int) {
+		res, err := RunApp(specs[i].app, specs[i].backend, specs[i].procs, scale, costs)
+		cells[i] = Fig5Cell{Res: res, Err: err}
+	})
 	data := make(Fig5Data)
-	for _, app := range apps {
-		data[app] = make(map[int]map[string]Fig5Cell)
-		for _, p := range procs {
-			data[app][p] = make(map[string]Fig5Cell)
-			for _, backend := range []string{BackendGenima, BackendCables} {
-				res, err := RunApp(app, backend, p, scale, costs)
-				data[app][p][backend] = Fig5Cell{Res: res, Err: err}
-			}
+	for i, s := range specs {
+		byProcs, ok := data[s.app]
+		if !ok {
+			byProcs = make(map[int]map[string]Fig5Cell)
+			data[s.app] = byProcs
 		}
+		byBackend, ok := byProcs[s.procs]
+		if !ok {
+			byBackend = make(map[string]Fig5Cell)
+			byProcs[s.procs] = byBackend
+		}
+		cell := cells[i]
+		if errs[i] != nil && cell.Err == nil {
+			cell.Err = errs[i] // cell panicked; isolate it, keep the sweep
+		}
+		byBackend[s.backend] = cell
 	}
 	return data
 }

@@ -1,0 +1,88 @@
+package hostperf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Compare prints a benchstat-style delta table of two reports: per
+// benchmark, old and new ns/op and allocs/op with the relative change.
+// Benchmarks present in only one report are listed with "-" on the missing
+// side, so renamed or added cases are visible rather than silently dropped.
+func Compare(w io.Writer, old, cur Report) {
+	names := make(map[string]bool, len(old.Benchmarks)+len(cur.Benchmarks))
+	for n := range old.Benchmarks {
+		names[n] = true
+	}
+	for n := range cur.Benchmarks {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	fmt.Fprintf(w, "hostperf delta (old: go %s gomaxprocs=%d, new: go %s gomaxprocs=%d)\n",
+		old.Go, old.GOMAXPROCS, cur.Go, cur.GOMAXPROCS)
+	fmt.Fprintf(w, "%-26s %14s %14s %8s   %10s %10s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
+	for _, n := range sorted {
+		o, haveOld := old.Benchmarks[n]
+		c, haveCur := cur.Benchmarks[n]
+		switch {
+		case !haveOld:
+			fmt.Fprintf(w, "%-26s %14s %14.1f %8s   %10s %10d %8s\n",
+				n, "-", c.NsPerOp, "new", "-", c.AllocsPerOp, "new")
+		case !haveCur:
+			fmt.Fprintf(w, "%-26s %14.1f %14s %8s   %10d %10s %8s\n",
+				n, o.NsPerOp, "-", "gone", o.AllocsPerOp, "-", "gone")
+		default:
+			fmt.Fprintf(w, "%-26s %14.1f %14.1f %8s   %10d %10d %8s\n",
+				n, o.NsPerOp, c.NsPerOp, pctDelta(o.NsPerOp, c.NsPerOp),
+				o.AllocsPerOp, c.AllocsPerOp,
+				pctDelta(float64(o.AllocsPerOp), float64(c.AllocsPerOp)))
+		}
+	}
+}
+
+// pctDelta renders the relative change from old to new.
+func pctDelta(old, cur float64) string {
+	if old == 0 {
+		if cur == 0 {
+			return "0%"
+		}
+		return "+inf"
+	}
+	return fmt.Sprintf("%+.1f%%", (cur-old)/old*100)
+}
+
+// CompareFiles loads two report files and prints their delta table.
+func CompareFiles(w io.Writer, oldPath, newPath string) error {
+	old, err := readReport(oldPath)
+	if err != nil {
+		return err
+	}
+	cur, err := readReport(newPath)
+	if err != nil {
+		return err
+	}
+	Compare(w, old, cur)
+	return nil
+}
+
+func readReport(path string) (Report, error) {
+	var r Report
+	f, err := os.Open(path)
+	if err != nil {
+		return r, err
+	}
+	defer f.Close()
+	if err := json.NewDecoder(f).Decode(&r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}

@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"testing"
 
@@ -36,9 +37,14 @@ type Case struct {
 	Fn   func(b *testing.B)
 }
 
-// Cases returns the data-plane benchmark suite in reporting order.
+// Cases returns the data-plane benchmark suite in reporting order.  The
+// sweep/ cases measure multicore host scaling: the end-to-end applications
+// re-run under a GOMAXPROCS sweep (a single simulation is itself
+// concurrent — one goroutine per simulated thread), and sweep/fig5-small
+// times the parallel experiment harness on a small Figure 5 grid at
+// -jobs 1 vs the host's processor count.
 func Cases() []Case {
-	return []Case{
+	cases := []Case{
 		{"diff/kernel/clean", DiffKernelClean},
 		{"diff/ref/clean", DiffRefClean},
 		{"diff/kernel/sparse", DiffKernelSparse},
@@ -49,6 +55,65 @@ func Cases() []Case {
 		{"acquire", Acquire},
 		{"e2e/fft", E2EFFT},
 		{"e2e/ocean", E2EOcean},
+	}
+	for _, g := range SweepProcs() {
+		g := g
+		cases = append(cases,
+			Case{fmt.Sprintf("sweep/fft/g%d", g), withGOMAXPROCS(g, E2EFFT)},
+			Case{fmt.Sprintf("sweep/ocean/g%d", g), withGOMAXPROCS(g, E2EOcean)},
+		)
+	}
+	cases = append(cases,
+		Case{"sweep/fig5-small/jobs1", Fig5Small(1)},
+		Case{fmt.Sprintf("sweep/fig5-small/jobs%d", fig5SmallParJobs()), Fig5Small(fig5SmallParJobs())},
+	)
+	return cases
+}
+
+// fig5SmallParJobs is the parallel-harness width for sweep/fig5-small: the
+// host width, floored at 2 so the pooled path is exercised (and named
+// distinctly from the jobs1 baseline) even on a single-processor host.
+func fig5SmallParJobs() int {
+	if j := bench.DefaultJobs(); j > 2 {
+		return j
+	}
+	return 2
+}
+
+// SweepProcs returns the GOMAXPROCS sweep points {1, 2, NumCPU},
+// deduplicated and sorted (a 1-CPU host sweeps {1, 2}; a 2-CPU host {1, 2}).
+func SweepProcs() []int {
+	pts := []int{1, 2, runtime.NumCPU()}
+	sort.Ints(pts)
+	out := pts[:1]
+	for _, p := range pts[1:] {
+		if p != out[len(out)-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// withGOMAXPROCS wraps a benchmark body so it runs under the given
+// GOMAXPROCS, restoring the previous value afterwards.  Wall-clock only:
+// virtual-time results are invariant under host parallelism (DESIGN.md §5b).
+func withGOMAXPROCS(n int, fn func(b *testing.B)) func(b *testing.B) {
+	return func(b *testing.B) {
+		old := runtime.GOMAXPROCS(n)
+		defer runtime.GOMAXPROCS(old)
+		fn(b)
+	}
+}
+
+// Fig5Small returns a benchmark of the parallel experiment harness: one op
+// is a small Figure 5 grid (FFT and LU at 1 and 4 processors, both
+// backends, test scale) run with the given -jobs bound.
+func Fig5Small(jobs int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bench.RunFig5([]string{"FFT", "LU"}, []int{1, 4}, bench.ScaleTest, nil, jobs)
+		}
 	}
 }
 
@@ -258,6 +323,26 @@ func Run() Report {
 	}
 	rep.Derived["flush_allocs_per_op"] = float64(rep.Benchmarks["flush"].AllocsPerOp)
 	rep.Derived["flush_bytes_per_op"] = float64(rep.Benchmarks["flush"].BytesPerOp)
+	rep.Derived["acquire_allocs_per_op"] = float64(rep.Benchmarks["acquire"].AllocsPerOp)
+	// Multicore host scaling: wall-clock speedup of each e2e app at the
+	// swept GOMAXPROCS values over its single-processor run, and of the
+	// parallel fig5 harness over the sequential sweep.
+	for _, app := range []string{"fft", "ocean"} {
+		base := rep.Benchmarks[fmt.Sprintf("sweep/%s/g1", app)]
+		for _, g := range SweepProcs() {
+			if g == 1 {
+				continue
+			}
+			m := rep.Benchmarks[fmt.Sprintf("sweep/%s/g%d", app, g)]
+			if m.NsPerOp > 0 {
+				rep.Derived[fmt.Sprintf("sweep_%s_speedup_g%d", app, g)] = base.NsPerOp / m.NsPerOp
+			}
+		}
+	}
+	if par := rep.Benchmarks[fmt.Sprintf("sweep/fig5-small/jobs%d", fig5SmallParJobs())]; par.NsPerOp > 0 {
+		rep.Derived["fig5_small_jobs_speedup"] =
+			rep.Benchmarks["sweep/fig5-small/jobs1"].NsPerOp / par.NsPerOp
+	}
 	return rep
 }
 
@@ -281,11 +366,16 @@ func WriteFile(path string, out io.Writer) error {
 	rep := Run()
 	for _, c := range Cases() {
 		m := rep.Benchmarks[c.Name]
-		fmt.Fprintf(out, "%-20s %14.1f ns/op %8d B/op %6d allocs/op\n",
+		fmt.Fprintf(out, "%-26s %14.1f ns/op %8d B/op %6d allocs/op\n",
 			c.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
 	}
-	for _, k := range []string{"diff_speedup_clean", "diff_speedup_sparse", "diff_speedup_dense"} {
-		fmt.Fprintf(out, "%-20s %14.2fx\n", k, rep.Derived[k])
+	keys := make([]string, 0, len(rep.Derived))
+	for k := range rep.Derived {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(out, "%-26s %14.2f\n", k, rep.Derived[k])
 	}
 	return rep.WriteJSON(f)
 }

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultJobs is the harness's default worker count: one per host processor.
+// Every (app, procs, backend) simulation cell is an independent virtual-time
+// experiment, so cells can run on separate host cores without affecting any
+// virtual-time result (DESIGN.md §5b).
+func DefaultJobs() int { return runtime.GOMAXPROCS(0) }
+
+// RunCells executes fn(i) for each cell i in [0, n) on a bounded pool of at
+// most jobs concurrent workers and returns per-cell panic errors (nil for
+// cells that completed).  Determinism contract: fn(i) must write its result
+// only into the i-th slot of a pre-shaped result slice, so the assembled
+// output is identical whatever order cells finish in.  jobs <= 1 runs every
+// cell inline on the caller's goroutine, reproducing the sequential
+// harness's behavior exactly.
+//
+// Each cell runs with panic isolation: one failing cell records its error
+// and the rest of the sweep continues.
+func RunCells(jobs, n int, fn func(i int)) []error {
+	errs := make([]error, n)
+	call := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = fmt.Errorf("bench: cell %d panicked: %v", i, r)
+			}
+		}()
+		fn(i)
+	}
+	if jobs <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			call(i)
+		}
+		return errs
+	}
+	if jobs > n {
+		jobs = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				call(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return errs
+}

@@ -128,7 +128,7 @@ func Table4(w io.Writer) *stats.Table {
 			remoteAgain = measureOp(th.Task, "remote mutex lock", func() { mx.Lock(th.Task) })
 			mx.Unlock(th.Task)
 		})
-		for rt.Cluster().Ctr.LockAcquires.Load() < 3 { // wait for first remote acquire
+		for rt.Cluster().Ctr.Load(stats.EvLockAcquires) < 3 { // wait for first remote acquire
 			runtime.Gosched()
 		}
 		mx.Lock(main)
@@ -177,7 +177,7 @@ func Table4(w io.Writer) *stats.Table {
 		})
 		<-ready2
 		mx.Lock(main)
-		for rt.Cluster().Ctr.CondWaits.Load() < 2 {
+		for rt.Cluster().Ctr.Load(stats.EvCondWaits) < 2 {
 			runtime.Gosched()
 		}
 		rows = append(rows, measureOp(main, "conditional broadcast", func() { cond.Broadcast(main) }))
@@ -303,8 +303,10 @@ func Table4(w io.Writer) *stats.Table {
 
 // Table5 regenerates the paper's Table 5: the pthreads programs (PN, PC,
 // PIPE and the OpenMP SPLASH-2 programs) with the average execution time of
-// each pthreads API operation during the run.
-func Table5(w io.Writer, scale Scale) *stats.Table {
+// each pthreads API operation during the run.  Each program is an
+// independent simulation; up to jobs of them run concurrently on the host,
+// with rows always emitted in the fixed program order.
+func Table5(w io.Writer, scale Scale, jobs int) *stats.Table {
 	newRT := func(nodes int) *cables.Runtime {
 		return cables.New(cables.Config{MaxNodes: nodes, ProcsPerNode: 2})
 	}
@@ -315,31 +317,47 @@ func Table5(w io.Writer, scale Scale) *stats.Table {
 		ompM, ompN = 14, 192
 	}
 
-	var progs []misc.ProgResult
-	progs = append(progs, misc.RunPN(newRT(4), limit, 7))
-	progs = append(progs, misc.RunPC(newRT(1), items))
-	progs = append(progs, misc.RunPIPE(newRT(4), 6, items))
-
 	runOMP := func(name string, f func(r *openmp.Runtime) float64) misc.ProgResult {
 		r := openmp.New(openmp.Config{Procs: 8, ProcsPerNode: 2})
 		r.Stats = &stats.OpStats{}
 		f(r)
 		return misc.ProgResult{Name: name, Total: r.Finish(), Stats: r.Stats}
 	}
-	progs = append(progs, runOMP("OMP FFT", func(r *openmp.Runtime) float64 {
-		return omp.FFT(r, ompM).Checksum
-	}))
-	progs = append(progs, runOMP("OMP LU", func(r *openmp.Runtime) float64 {
-		return omp.LU(r, ompN).Checksum
-	}))
-	progs = append(progs, runOMP("OMP OCEAN", func(r *openmp.Runtime) float64 {
-		return omp.Ocean(r, ompN, 2).Checksum
-	}))
+	cells := []struct {
+		name string
+		run  func() misc.ProgResult
+	}{
+		{"PN", func() misc.ProgResult { return misc.RunPN(newRT(4), limit, 7) }},
+		{"PC", func() misc.ProgResult { return misc.RunPC(newRT(1), items) }},
+		{"PIPE", func() misc.ProgResult { return misc.RunPIPE(newRT(4), 6, items) }},
+		{"OMP FFT", func() misc.ProgResult {
+			return runOMP("OMP FFT", func(r *openmp.Runtime) float64 { return omp.FFT(r, ompM).Checksum })
+		}},
+		{"OMP LU", func() misc.ProgResult {
+			return runOMP("OMP LU", func(r *openmp.Runtime) float64 { return omp.LU(r, ompN).Checksum })
+		}},
+		{"OMP OCEAN", func() misc.ProgResult {
+			return runOMP("OMP OCEAN", func(r *openmp.Runtime) float64 { return omp.Ocean(r, ompN, 2).Checksum })
+		}},
+	}
+	progs := make([]misc.ProgResult, len(cells))
+	errs := RunCells(jobs, len(cells), func(i int) {
+		progs[i] = cells[i].run()
+	})
 
 	cols := []string{"create", "join", "mutex_lock", "mutex_unlock",
 		"cond_wait", "cond_signal", "cond_broadcast", "barrier", "cancel"}
 	tab := stats.NewTable(append([]string{"PROGRAM", "Total"}, cols...)...)
-	for _, p := range progs {
+	for i, p := range progs {
+		if errs[i] != nil {
+			// The cell panicked: render a FAILED row and keep the table.
+			row := append([]string{cells[i].name, "FAILED"}, make([]string, len(cols))...)
+			for j := range cols {
+				row[2+j] = "-"
+			}
+			tab.AddRow(row...)
+			continue
+		}
 		row := []string{p.Name, p.Total.String()}
 		for _, op := range cols {
 			avg, n := p.Stats.Avg(op)
@@ -359,8 +377,9 @@ func Table5(w io.Writer, scale Scale) *stats.Table {
 
 // Table6 regenerates the paper's Table 6: speedups of the three OpenMP
 // SPLASH-2 programs on 4, 8 and 16 processors (SMP-style codes with naive
-// placement, hence the modest numbers).
-func Table6(w io.Writer, scale Scale) *stats.Table {
+// placement, hence the modest numbers).  The apps x procs grid runs as
+// independent cells, up to jobs at a time, assembled in fixed order.
+func Table6(w io.Writer, scale Scale, jobs int) *stats.Table {
 	m, n := 12, 128
 	iters := 2
 	if scale == ScalePaper {
@@ -378,16 +397,25 @@ func Table6(w io.Writer, scale Scale) *stats.Table {
 		{"OCEAN", func(r *openmp.Runtime) sim.Time { return omp.Ocean(r, n, iters).Parallel }},
 	}
 
+	times := make([]sim.Time, len(apps)*len(procsList))
+	errs := RunCells(jobs, len(times), func(i int) {
+		a, p := apps[i/len(procsList)], procsList[i%len(procsList)]
+		r := openmp.New(openmp.Config{Procs: p, ProcsPerNode: 2})
+		times[i] = a.run(r)
+	})
+
 	tab := stats.NewTable("PROGRAM", "4 procs.", "8 procs.", "16 procs.")
-	for _, a := range apps {
-		times := map[int]sim.Time{}
-		for _, p := range procsList {
-			r := openmp.New(openmp.Config{Procs: p, ProcsPerNode: 2})
-			times[p] = a.run(r)
-		}
+	for ai, a := range apps {
+		base := times[ai*len(procsList)]
+		baseErr := errs[ai*len(procsList)]
 		row := []string{a.name}
-		for _, p := range procsList[1:] {
-			row = append(row, fmt.Sprintf("%.2f", float64(times[1])/float64(times[p])))
+		for pi := range procsList[1:] {
+			i := ai*len(procsList) + pi + 1
+			if baseErr != nil || errs[i] != nil || times[i] == 0 {
+				row = append(row, "FAILED")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.2f", float64(base)/float64(times[i])))
 		}
 		tab.AddRow(row...)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"cables/internal/memsys"
 	"cables/internal/sim"
+	"cables/internal/stats"
 	"cables/internal/vmmc"
 )
 
@@ -201,7 +202,7 @@ func (m *MemManager) HomeFor(t *sim.Task, pid memsys.PageID) int {
 			t.Charge(sim.CatComm, c.SegMigrateComm)
 		}
 		m.unitSeen[node][unit].Store(true)
-		m.rt.cl.Ctr.SegMigrations.Add(1)
+		m.rt.cl.Ctr.Add(t.NodeID, stats.EvSegMigrations, 1)
 		return int(want)
 	}
 	m.chargeDetect(t, unit)
@@ -221,7 +222,7 @@ func (m *MemManager) chargeDetect(t *sim.Task, unit int) {
 			t.Charge(sim.CatComm, c.SegDetectFirstComm)
 		}
 	}
-	m.rt.cl.Ctr.OwnerDetects.Add(1)
+	m.rt.cl.Ctr.Add(node, stats.EvOwnerDetects, 1)
 }
 
 // Malloc allocates global shared memory dynamically (any time, any thread).
@@ -242,7 +243,7 @@ func (m *MemManager) Malloc(t *sim.Task, size int64) (memsys.Addr, error) {
 			} else {
 				m.freeList[i] = freeBlock{addr: fb.addr + memsys.Addr(size), size: fb.size - size}
 			}
-			m.rt.cl.Ctr.SharedAllocated.Add(size)
+			m.rt.cl.Ctr.Add(t.NodeID, stats.EvSharedAllocated, size)
 			return fb.addr, nil
 		}
 	}
@@ -257,7 +258,7 @@ func (m *MemManager) Malloc(t *sim.Task, size int64) (memsys.Addr, error) {
 		return 0, err
 	}
 	m.allocs[addr] = size
-	m.rt.cl.Ctr.SharedAllocated.Add(size)
+	m.rt.cl.Ctr.Add(t.NodeID, stats.EvSharedAllocated, size)
 	return addr, nil
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"cables/internal/memsys"
 	"cables/internal/sim"
+	"cables/internal/stats"
 )
 
 // Migration policy.  The paper implements the *mechanisms* for home-page
@@ -65,7 +66,7 @@ func (m *MemManager) MigrateHotUnits(t *sim.Task, threshold int64) int {
 		}
 		m.unitHome[u].Store(int32(bestN))
 		migrated++
-		m.rt.cl.Ctr.SegMigrations.Add(1)
+		m.rt.cl.Ctr.Add(t.NodeID, stats.EvSegMigrations, 1)
 	}
 	return migrated
 }

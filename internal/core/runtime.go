@@ -204,7 +204,7 @@ func (rt *Runtime) chargeAdmin(t *sim.Task) {
 	if t.NodeID != rt.acb.masterNode {
 		t.Charge(sim.CatComm, c.AdminReqComm)
 	}
-	rt.cl.Ctr.AdminRequests.Add(1)
+	rt.cl.Ctr.Add(t.NodeID, stats.EvAdminRequests, 1)
 }
 
 // attachNode introduces node into the application: the master creates a
@@ -229,7 +229,7 @@ func (rt *Runtime) attachNode(t *sim.Task, node int) {
 	rt.acb.numAttach++
 	rt.acb.mu.Unlock()
 	rt.cl.Nodes[node].SetAttached(true)
-	rt.cl.Ctr.NodesAttached.Add(1)
+	rt.cl.Ctr.Add(t.NodeID, stats.EvNodesAttached, 1)
 }
 
 // AttachNode explicitly attaches the next unattached node to the
@@ -336,7 +336,7 @@ func (rt *Runtime) Create(parent *sim.Task, fn func(th *Thread)) *Thread {
 	a.threads[tid] = th
 	a.mu.Unlock()
 
-	rt.cl.Ctr.ThreadsCreated.Add(1)
+	rt.cl.Ctr.Add(node, stats.EvThreadsCreated, 1)
 	rt.cl.Nodes[node].ThreadStarted()
 	go th.run(fn)
 	return th

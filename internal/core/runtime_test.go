@@ -7,6 +7,7 @@ import (
 	cables "cables/internal/core"
 	"cables/internal/memsys"
 	"cables/internal/sim"
+	"cables/internal/stats"
 )
 
 func newRT(maxNodes int) *cables.Runtime {
@@ -41,8 +42,8 @@ func TestDynamicNodeAttach(t *testing.T) {
 	if got := rt.AttachedNodes(); got != 4 {
 		t.Errorf("attached after creates: got %d want 4", got)
 	}
-	if rt.Cluster().Ctr.NodesAttached.Load() != 3 {
-		t.Errorf("attach count: got %d want 3", rt.Cluster().Ctr.NodesAttached.Load())
+	if rt.Cluster().Ctr.Load(stats.EvNodesAttached) != 3 {
+		t.Errorf("attach count: got %d want 3", rt.Cluster().Ctr.Load(stats.EvNodesAttached))
 	}
 	// Three attaches at ~3.69 s each dominate the main thread's clock.
 	if main.Task.Now() < 3*3690*sim.Millisecond {

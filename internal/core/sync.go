@@ -5,6 +5,7 @@ import (
 
 	"cables/internal/memsys"
 	"cables/internal/sim"
+	"cables/internal/stats"
 )
 
 // Mutex is a pthread mutex.  CableS implements mutexes directly on the
@@ -69,13 +70,15 @@ func (c *Cond) Wait(th *Thread, mx *Mutex) {
 		c.rt.Stats.Record("cond_wait",
 			costs.CondWaitLocal+costs.CondWaitComm+10*sim.Microsecond)
 	}
-	c.rt.cl.Ctr.CondWaits.Add(1)
+	c.rt.cl.Ctr.Add(t.NodeID, stats.EvCondWaits, 1)
 
 	node := c.rt.cl.Nodes[t.NodeID]
 	// Spin when the node has spare processors; otherwise block on an OS
 	// event and pay the wake-up penalty if the wait outlasts the spin bound.
 	spinning := node.Runnable() <= node.Processors
-	w := &condWaiter{ch: make(chan sim.Time, 1), node: t.NodeID, start: t.Now()}
+	// The waiter parks on the task's reusable grant channel (no per-wait
+	// allocation); see the reuse contract on sim.Task.Grant.
+	w := &condWaiter{ch: t.Grant(), node: t.NodeID, start: t.Now()}
 	c.mu.Lock()
 	c.waiters = append(c.waiters, w)
 	c.mu.Unlock()
@@ -89,13 +92,22 @@ func (c *Cond) Wait(th *Thread, mx *Mutex) {
 	case grant = <-w.ch:
 	case <-th.cancelCh:
 		c.mu.Lock()
+		found := false
 		for i, x := range c.waiters {
 			if x == w {
 				c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+				found = true
 				break
 			}
 		}
 		c.mu.Unlock()
+		if !found {
+			// A signal or broadcast already claimed this waiter, so a grant
+			// is in flight (or delivered).  Consume it — the wake-up is
+			// dropped, exactly as before, but the reusable channel must not
+			// carry a stale grant into the task's next wait.
+			<-w.ch
+		}
 		if !spinning {
 			node.ThreadStarted()
 		}
@@ -119,7 +131,7 @@ func (c *Cond) Signal(t *sim.Task) {
 	c.rt.proto.Flush(t)
 	t.Charge(sim.CatLocal, costs.CondSignalLocal)
 	t.Charge(sim.CatLocalOS, costs.CondSignalOS)
-	c.rt.cl.Ctr.CondSignals.Add(1)
+	c.rt.cl.Ctr.Add(t.NodeID, stats.EvCondSignals, 1)
 
 	c.mu.Lock()
 	var w *condWaiter
@@ -163,7 +175,7 @@ func (c *Cond) Broadcast(t *sim.Task) {
 	for _, w := range ws {
 		w.ch <- now
 	}
-	c.rt.cl.Ctr.CondSignals.Add(int64(len(ws)))
+	c.rt.cl.Ctr.Add(t.NodeID, stats.EvCondSignals, int64(len(ws)))
 }
 
 // Barrier is the pthread_barrier(number_of_threads) extension CableS adds

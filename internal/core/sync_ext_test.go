@@ -6,6 +6,7 @@ import (
 
 	cables "cables/internal/core"
 	"cables/internal/memsys"
+	"cables/internal/stats"
 )
 
 func TestMutexTryLock(t *testing.T) {
@@ -144,7 +145,7 @@ func TestMigrationPolicy(t *testing.T) {
 	})
 	rt.Join(main.Task, th)
 
-	if n := rt.Protocol().Cluster().Ctr.RemotePageFaults.Load(); n == 0 {
+	if n := rt.Protocol().Cluster().Ctr.Load(stats.EvRemotePageFaults); n == 0 {
 		t.Fatal("no remote faults recorded")
 	}
 	if moved := mem.MigrateHotUnits(main.Task, 2); moved == 0 {

@@ -6,6 +6,7 @@ import (
 	"cables/internal/m4"
 	"cables/internal/memsys"
 	"cables/internal/sim"
+	"cables/internal/stats"
 )
 
 // pingPong runs a deterministic 2-node lock ping-pong: two workers strictly
@@ -60,8 +61,8 @@ func pingPong(t *testing.T, disableCompaction bool, rounds int) (invals, diffs, 
 	rt.Unlock(main, 1)
 
 	ctr := rt.Cluster().Ctr
-	return ctr.Invalidations.Load(), ctr.DiffsSent.Load(), ctr.DiffBytes.Load(),
-		ctr.WriteNotices.Load(), rt.Protocol().LogLen(), finals
+	return ctr.Load(stats.EvInvalidations), ctr.Load(stats.EvDiffsSent), ctr.Load(stats.EvDiffBytes),
+		ctr.Load(stats.EvWriteNotices), rt.Protocol().LogLen(), finals
 }
 
 // TestLogCompactionEquivalentAndBounded is the compaction regression test:

@@ -22,6 +22,7 @@ import (
 	"cables/internal/memsys"
 	"cables/internal/nodeos"
 	"cables/internal/sim"
+	"cables/internal/stats"
 	"cables/internal/trace"
 )
 
@@ -53,6 +54,12 @@ type nodeState struct {
 	dirtyPages []memsys.PageID // unique pages dirtied in the current interval
 	dirtyBits  []uint64        // bitmap over arena pages deduplicating dirtyPages
 	spare      []memsys.PageID // recycled backing array for the next interval
+
+	// Pad so the write-side group above and the acquire-side group below
+	// land on separate cache lines: they are taken by different threads of
+	// the node concurrently, and sharing a line would false-share on a
+	// multicore host.
+	_ [64]byte
 
 	syncMu     sync.Mutex      // serializes acquire-side invalidation passes
 	seen       atomic.Int64    // absolute log prefix already applied (atomic: compaction reads it cross-node)
@@ -159,7 +166,7 @@ func (p *Protocol) homeOf(t *sim.Task, pid memsys.PageID) int {
 func (p *Protocol) validate(t *sim.Task, pid memsys.PageID) *memsys.PageCopy {
 	ctr := p.cl.Ctr
 	costs := p.cl.Costs
-	ctr.PageFaults.Add(1)
+	ctr.Add(t.NodeID, stats.EvPageFaults, 1)
 	t.Charge(sim.CatLocal, costs.FaultHandler)
 	if p.Trace != nil {
 		p.Trace.Add(t.Now(), t.NodeID, trace.KindFault, uint64(pid))
@@ -190,17 +197,16 @@ func (p *Protocol) validate(t *sim.Task, pid memsys.PageID) *memsys.PageCopy {
 		hc.EnsureData()
 		hc.SetValid(true)
 	}
-	// Fetch into a fresh array and swap it in: readers that raced past the
-	// validity check keep the array their own acquire justified.  The buffer
-	// comes from the page pool; the array it replaces may still be read by
-	// such racing readers, so it is never returned there.
-	data := memsys.GetPageBuf()
-	copy(data, hc.Data())
-	pc.ReplaceData(data)
+	// Fetch into the copy's own (pool-backed) array.  If the copy was
+	// invalidated, the acquire path already retired its old array under the
+	// node's exclusive flush lock — readers hold the shared side across the
+	// byte access, so none can still be looking at recycled storage, and the
+	// refetch reuses a pooled buffer instead of allocating a fresh one.
+	copy(pc.EnsureData(), hc.Data())
 	hc.Mu.Unlock()
 	p.acc.FlushEnd(home)
 	p.cl.VMMC.Fetch(t, home, memsys.PageSize)
-	ctr.RemotePageFaults.Add(1)
+	ctr.Add(t.NodeID, stats.EvRemotePageFaults, 1)
 	if p.OnRemoteFault != nil {
 		p.OnRemoteFault(t.NodeID, pid)
 	}
@@ -274,7 +280,11 @@ func (p *Protocol) Flush(t *sim.Task) {
 	p.acc.FlushEnd(node)
 
 	ns.dirtyMu.Lock()
-	if ns.spare == nil {
+	// Recycle the flushed interval's backing array.  A concurrent interval
+	// may already have installed a spare; keep the larger of the two so
+	// steady-state flushing stays allocation-free under churn instead of
+	// repeatedly regrowing a small array.
+	if cap(work) > cap(ns.spare) {
 		ns.spare = work[:0]
 	}
 	ns.dirtyMu.Unlock()
@@ -283,7 +293,7 @@ func (p *Protocol) Flush(t *sim.Task) {
 		p.logMu.Lock()
 		p.log = append(p.log, interval{node: node, pages: pages})
 		p.logMu.Unlock()
-		p.cl.Ctr.WriteNotices.Add(int64(len(pages)))
+		p.cl.Ctr.Add(node, stats.EvWriteNotices, int64(len(pages)))
 	}
 }
 
@@ -336,8 +346,8 @@ func (p *Protocol) diffToHome(t *sim.Task, node int, pid memsys.PageID, pc *mems
 	}
 	t.Charge(sim.CatLocal, p.cl.Costs.DiffTime(diffBytes))
 	p.cl.VMMC.RemoteWrite(t, home, diffBytes+16)
-	p.cl.Ctr.DiffsSent.Add(1)
-	p.cl.Ctr.DiffBytes.Add(int64(diffBytes))
+	p.cl.Ctr.Add(node, stats.EvDiffsSent, 1)
+	p.cl.Ctr.Add(node, stats.EvDiffBytes, int64(diffBytes))
 	return diffBytes
 }
 
@@ -396,12 +406,17 @@ func (p *Protocol) ApplyAcquire(t *sim.Task) {
 			}
 			if pc.Valid() {
 				pc.SetValid(false)
-				p.cl.Ctr.Invalidations.Add(1)
+				p.cl.Ctr.Add(node, stats.EvInvalidations, 1)
 				if p.Trace != nil {
 					p.Trace.Add(t.Now(), node, trace.KindInvalidate, uint64(pid))
 				}
 			}
 			pc.RetireTwin()
+			// With the flush lock held exclusively no reader or writer is
+			// inside this node's copies, so the invalidated copy's array can
+			// go back to the page pool; the refetch on the next fault reuses
+			// a pooled buffer instead of allocating.
+			pc.RetireData()
 			pc.Mu.Unlock()
 		}
 		p.acc.FlushEnd(node)

@@ -7,6 +7,7 @@ import (
 	"cables/internal/m4"
 	"cables/internal/memsys"
 	"cables/internal/sim"
+	"cables/internal/stats"
 )
 
 func newRT(t *testing.T, procs int) *m4.Runtime {
@@ -54,12 +55,12 @@ func TestSingleWriterBlocks(t *testing.T) {
 	for _, id := range ids {
 		rt.Join(main, id)
 	}
-	if f := rt.Cluster().Ctr.PageFaults.Load(); f == 0 {
+	if f := rt.Cluster().Ctr.Load(stats.EvPageFaults); f == 0 {
 		t.Error("expected page faults, saw none")
 	}
 	// Writers are first-touch homes of their own blocks, so readers fault
 	// remotely but no diffs are needed.
-	if f := rt.Cluster().Ctr.RemotePageFaults.Load(); f == 0 {
+	if f := rt.Cluster().Ctr.Load(stats.EvRemotePageFaults); f == 0 {
 		t.Error("expected remote page faults, saw none")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"cables/internal/sim"
+	"cables/internal/stats"
 	"cables/internal/trace"
 )
 
@@ -62,9 +63,9 @@ func (l *SysLock) chargeAcquire(t *sim.Task) {
 		t.Charge(sim.CatRemote, c.MutexRemoteRemote)
 		t.Charge(sim.CatComm, c.MutexRemoteComm)
 	}
-	l.p.cl.Ctr.LockAcquires.Add(1)
+	l.p.cl.Ctr.Add(t.NodeID, stats.EvLockAcquires, 1)
 	if !local {
-		l.p.cl.Ctr.RemoteLockAcquires.Add(1)
+		l.p.cl.Ctr.Add(t.NodeID, stats.EvRemoteLockAcquires, 1)
 	}
 }
 
@@ -79,7 +80,10 @@ func (l *SysLock) Acquire(t *sim.Task) {
 		t.WaitUntil(l.lastRelease)
 		l.mu.Unlock()
 	} else {
-		ch := make(chan sim.Time, 1)
+		// Park on the task's reusable grant channel — no allocation per
+		// contended acquire.  The acquire never abandons the wait, so the
+		// grant is always consumed and the channel stays clean for reuse.
+		ch := t.Grant()
 		l.queue = append(l.queue, ch)
 		l.mu.Unlock()
 		grant := <-ch // real block until hand-off
@@ -208,5 +212,5 @@ func (b *Barrier) Wait(t *sim.Task, parties int) {
 		b.p.Trace.Add(t.Now(), t.NodeID, trace.KindBarrier, 0)
 	}
 	b.p.ApplyAcquire(t)
-	b.p.cl.Ctr.Barriers.Add(1)
+	b.p.cl.Ctr.Add(t.NodeID, stats.EvBarriers, 1)
 }

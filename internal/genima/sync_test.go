@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"cables/internal/sim"
+	"cables/internal/stats"
 )
 
 // TestLockHandoffAdvancesWaiterClock: a contended acquire resumes no
@@ -223,7 +224,7 @@ func TestReadOnlyPagesNeverDiff(t *testing.T) {
 	}
 	acc.WriteF64s(main, addr, buf)
 	rt.Protocol().Flush(main)
-	before := rt.Cluster().Ctr.DiffsSent.Load()
+	before := rt.Cluster().Ctr.Load(stats.EvDiffsSent)
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
 		wg.Add(1)
@@ -236,7 +237,7 @@ func TestReadOnlyPagesNeverDiff(t *testing.T) {
 		})
 	}
 	wg.Wait()
-	if got := rt.Cluster().Ctr.DiffsSent.Load(); got != before {
+	if got := rt.Cluster().Ctr.Load(stats.EvDiffsSent); got != before {
 		t.Errorf("read-only workload produced %d diffs", got-before)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"cables/internal/memsys"
 	"cables/internal/nodeos"
 	"cables/internal/sim"
+	"cables/internal/stats"
 )
 
 // Runtime is the M4-on-GeNIMA backend.
@@ -113,7 +114,7 @@ func (rt *Runtime) Spawn(parent *sim.Task, fn func(t *sim.Task)) int {
 		parent.Charge(sim.CatComm, c.SendTime(64))
 	}
 	child := rt.cl.NewTask(node, parent.Now())
-	rt.cl.Ctr.ThreadsCreated.Add(1)
+	rt.cl.Ctr.Add(node, stats.EvThreadsCreated, 1)
 	rt.cl.Nodes[node].ThreadStarted()
 	go func() {
 		defer func() {

@@ -51,15 +51,25 @@ func (a *Accessor) check(addr Addr, size int) (PageID, int) {
 	return a.Sp.PageOf(addr), int(addr & PageMask)
 }
 
-// pageForRead returns a readable copy of the page on t's node, faulting if
-// necessary.
+// pageForRead returns a readable copy with the node's flush lock held
+// shared, faulting if necessary.  The caller must release it via readEnd
+// after the load.  Holding the lock over the byte access pairs with the
+// acquire path, which invalidates (and retires page arrays) under the
+// exclusive side — so a reader that passed the validity check can never
+// observe an array after it returns to the page pool.
 func (a *Accessor) pageForRead(t *sim.Task, pid PageID) *PageCopy {
 	pc := a.Sp.Copy(t.NodeID, pid)
-	if !pc.Valid() {
+	for {
+		a.Sp.flush[t.NodeID].RLock()
+		if pc.Valid() {
+			return pc
+		}
+		a.Sp.flush[t.NodeID].RUnlock()
 		a.H.ReadFault(t, pid)
 	}
-	return pc
 }
+
+func (a *Accessor) readEnd(node int) { a.Sp.flush[node].RUnlock() }
 
 // pageForWrite returns a writable copy with the node's flush lock held
 // shared.  The caller must release it via writeEnd after the store.
@@ -83,8 +93,10 @@ func (a *Accessor) writeEnd(node int) { a.Sp.flush[node].RUnlock() }
 func (a *Accessor) ReadF64(t *sim.Task, addr Addr) float64 {
 	pid, off := a.check(addr, 8)
 	pc := a.pageForRead(t, pid)
+	v := binary.LittleEndian.Uint64(pc.Data()[off:])
+	a.readEnd(t.NodeID)
 	t.Compute(t.Costs().MemAccess)
-	return math.Float64frombits(binary.LittleEndian.Uint64(pc.Data()[off:]))
+	return math.Float64frombits(v)
 }
 
 // WriteF64 writes a float64 at addr.
@@ -100,8 +112,10 @@ func (a *Accessor) WriteF64(t *sim.Task, addr Addr, v float64) {
 func (a *Accessor) ReadI64(t *sim.Task, addr Addr) int64 {
 	pid, off := a.check(addr, 8)
 	pc := a.pageForRead(t, pid)
+	v := binary.LittleEndian.Uint64(pc.Data()[off:])
+	a.readEnd(t.NodeID)
 	t.Compute(t.Costs().MemAccess)
-	return int64(binary.LittleEndian.Uint64(pc.Data()[off:]))
+	return int64(v)
 }
 
 // WriteI64 writes an int64 at addr.
@@ -117,8 +131,10 @@ func (a *Accessor) WriteI64(t *sim.Task, addr Addr, v int64) {
 func (a *Accessor) ReadI32(t *sim.Task, addr Addr) int32 {
 	pid, off := a.check(addr, 4)
 	pc := a.pageForRead(t, pid)
+	v := binary.LittleEndian.Uint32(pc.Data()[off:])
+	a.readEnd(t.NodeID)
 	t.Compute(t.Costs().MemAccess)
-	return int32(binary.LittleEndian.Uint32(pc.Data()[off:]))
+	return int32(v)
 }
 
 // WriteI32 writes an int32 at addr.
@@ -149,6 +165,7 @@ func (a *Accessor) ReadF64s(t *sim.Task, addr Addr, dst []float64) {
 			dst[i+k] = math.Float64frombits(
 				binary.LittleEndian.Uint64(pc.Data()[off+8*k:]))
 		}
+		a.readEnd(t.NodeID)
 		i += n
 		pid++
 		off = 0
@@ -196,6 +213,7 @@ func (a *Accessor) ReadI64s(t *sim.Task, addr Addr, dst []int64) {
 		for k := 0; k < n; k++ {
 			dst[i+k] = int64(binary.LittleEndian.Uint64(pc.Data()[off+8*k:]))
 		}
+		a.readEnd(t.NodeID)
 		i += n
 		pid++
 		off = 0
@@ -237,5 +255,6 @@ func (a *Accessor) Touch(t *sim.Task, addr Addr, n int) {
 	last := a.Sp.PageOf(addr + Addr(n) - 1)
 	for pid := first; pid <= last; pid++ {
 		a.pageForRead(t, pid)
+		a.readEnd(t.NodeID)
 	}
 }

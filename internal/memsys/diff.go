@@ -140,9 +140,21 @@ var pagePool = sync.Pool{
 	New: func() any { return new([PageSize]byte) },
 }
 
+// getPageArr returns a zeroed page array from the pool.
+func getPageArr() *[PageSize]byte {
+	return pagePool.Get().(*[PageSize]byte)
+}
+
+// putPageArr zeroes arr and returns it to the pool.  The caller must hold
+// the only remaining reference.
+func putPageArr(arr *[PageSize]byte) {
+	clear(arr[:])
+	pagePool.Put(arr)
+}
+
 // GetPageBuf returns a zeroed PageSize buffer from the pool.
 func GetPageBuf() []byte {
-	return pagePool.Get().(*[PageSize]byte)[:]
+	return getPageArr()[:]
 }
 
 // RetireTwin returns the copy's twin buffer (if any) to the page pool and
@@ -162,7 +174,5 @@ func PutPageBuf(buf []byte) {
 	if cap(buf) < PageSize {
 		return
 	}
-	buf = buf[:PageSize]
-	clear(buf)
-	pagePool.Put((*[PageSize]byte)(buf))
+	putPageArr((*[PageSize]byte)(buf[:PageSize]))
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 // Page geometry.
@@ -37,10 +38,12 @@ const NoHome = int32(-1)
 // PageCopy is one node's copy of one shared page.  The zero state is
 // Invalid with no storage; storage is allocated on first validation.
 //
-// The backing array is held behind an atomic pointer: when an invalidated
-// copy is refetched, a *fresh* array is swapped in, so same-node readers
-// that raced past the validity check keep reading the array their own
-// acquire justified — exactly the lazy-release-consistency contract.
+// The backing array is held behind an atomic pointer to a fixed-size array
+// (no slice header, so installing or clearing it never allocates).  Byte
+// access is synchronized through the owning node's flush lock: loads and
+// stores hold it shared, while invalidation — the only path that retires an
+// array back to the page pool — holds it exclusively, so a retired array
+// can never still be observed by a racing reader.
 type PageCopy struct {
 	// Mu serializes state transitions and diff application on this copy.
 	Mu sync.Mutex
@@ -49,7 +52,7 @@ type PageCopy struct {
 	// Guarded by Mu.
 	Twin []byte
 
-	data    atomic.Pointer[[]byte]
+	data    atomic.Pointer[[PageSize]byte]
 	valid   atomic.Bool
 	written atomic.Bool
 }
@@ -57,14 +60,20 @@ type PageCopy struct {
 // Data returns the current backing array (nil before first validation).
 func (p *PageCopy) Data() []byte {
 	if b := p.data.Load(); b != nil {
-		return *b
+		return b[:]
 	}
 	return nil
 }
 
-// ReplaceData swaps in a new backing array (used by refetch after
-// invalidation); concurrent readers keep the array they already loaded.
-func (p *PageCopy) ReplaceData(b []byte) { p.data.Store(&b) }
+// RetireData returns the backing array to the page pool and clears the
+// field.  Caller must hold Mu and exclude all readers of the array (the
+// acquire path holds the node's flush lock exclusively).
+func (p *PageCopy) RetireData() {
+	if b := p.data.Load(); b != nil {
+		p.data.Store(nil)
+		putPageArr(b)
+	}
+}
 
 // Written reports whether the page is dirty in the current interval.
 func (p *PageCopy) Written() bool { return p.written.Load() }
@@ -78,15 +87,15 @@ func (p *PageCopy) Valid() bool { return p.valid.Load() }
 // SetValid marks the copy readable.
 func (p *PageCopy) SetValid(v bool) { p.valid.Store(v) }
 
-// EnsureData allocates the page storage if needed and returns it.
-// Caller must hold Mu or otherwise own the copy.
+// EnsureData allocates the page storage (from the page pool) if needed and
+// returns it.  Caller must hold Mu or otherwise own the copy.
 func (p *PageCopy) EnsureData() []byte {
 	if b := p.data.Load(); b != nil {
-		return *b
+		return b[:]
 	}
-	b := make([]byte, PageSize)
-	p.data.Store(&b)
-	return b
+	b := getPageArr()
+	p.data.Store(b)
+	return b[:]
 }
 
 // Space is the cluster-wide shared address space.
@@ -98,13 +107,17 @@ type Space struct {
 	// pages[node][pid] is node's copy of page pid, created on demand.
 	pages [][]atomic.Pointer[PageCopy]
 
-	// flush[node] is the node's writer/flusher lock: shared-memory stores
-	// hold it shared, interval flushes hold it exclusively, so a flush
-	// observes a stable page image (avoids lost updates between same-node
-	// threads).  Owned by the space so its lifetime matches the pages it
-	// guards (it used to live in a process-global registry keyed by *Space,
-	// which retained every space ever created).
-	flush []sync.RWMutex
+	// flush[node] is the node's writer/flusher lock: shared-memory loads and
+	// stores hold it shared, interval flushes and acquire-side invalidations
+	// hold it exclusively, so a flush observes a stable page image (avoids
+	// lost updates between same-node threads) and an invalidation can retire
+	// page arrays with no reader left holding them.  Owned by the space so
+	// its lifetime matches the pages it guards (it used to live in a
+	// process-global registry keyed by *Space, which retained every space
+	// ever created).  Each lock is padded to its own cache line: every
+	// simulated access of a node touches its lock word, and neighboring
+	// nodes' locks sharing a line would ping-pong across host cores.
+	flush []flushLock
 
 	// home[pid] is the node holding the primary copy, or NoHome.
 	home []atomic.Int32
@@ -117,6 +130,15 @@ type Space struct {
 	next    Addr
 	segs    []Segment
 }
+
+// flushLock pads a per-node RWMutex out to a full cache line.
+type flushLock struct {
+	sync.RWMutex
+	_ [(cacheLine - unsafe.Sizeof(sync.RWMutex{})%cacheLine) % cacheLine]byte
+}
+
+// cacheLine is the assumed false-sharing granularity of the host.
+const cacheLine = 64
 
 // Segment records one allocation in the shared arena.
 type Segment struct {
@@ -136,7 +158,7 @@ func NewSpace(nodes int, size int64) *Space {
 		size:     int64(np) * PageSize,
 		numPages: np,
 		pages:    make([][]atomic.Pointer[PageCopy], nodes),
-		flush:    make([]sync.RWMutex, nodes),
+		flush:    make([]flushLock, nodes),
 		home:     make([]atomic.Int32, np),
 		toucher:  make([]atomic.Int32, np),
 		next:     SpaceBase,

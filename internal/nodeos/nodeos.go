@@ -108,7 +108,7 @@ func NewCluster(cfg Config) *Cluster {
 	if limits == (vmmc.Limits{}) {
 		limits = vmmc.DefaultLimits()
 	}
-	ctr := &stats.Counters{}
+	ctr := stats.NewCounters(cfg.NumNodes)
 	fab := san.New(cfg.NumNodes, costs, ctr)
 	cl := &Cluster{
 		Nodes:  make([]*Node, cfg.NumNodes),

@@ -171,7 +171,7 @@ func (r *Runtime) Parallel(body func(o *OMP)) {
 	for i, w := range r.pool {
 		i, w := i, w
 		o := &OMP{r: r, tid: i, bar: fmt.Sprintf("omp.%d", region)}
-		r.rt.Cluster().Ctr.AdminRequests.Add(1)
+		r.rt.Cluster().Ctr.Add(main.NodeID, stats.EvAdminRequests, 1)
 		w.work <- func(th *cables.Thread) {
 			o.th = th
 			th.Task.WaitUntil(start) // region dispatch message

@@ -106,11 +106,11 @@ func TestBarrierSynchronizesRegions(t *testing.T) {
 func TestPoolReuseAcrossRegions(t *testing.T) {
 	r := newOMP(8)
 	r.Warmup()
-	created := r.Cluster().Ctr.ThreadsCreated.Load()
+	created := r.Cluster().Ctr.Load(stats.EvThreadsCreated)
 	for i := 0; i < 5; i++ {
 		r.Parallel(func(o *OMP) { o.Task().Compute(sim.Microsecond) })
 	}
-	if got := r.Cluster().Ctr.ThreadsCreated.Load(); got != created {
+	if got := r.Cluster().Ctr.Load(stats.EvThreadsCreated); got != created {
 		t.Errorf("regions created %d extra threads", got-created)
 	}
 	r.Close()

@@ -64,8 +64,8 @@ func (f *Fabric) Send(t *sim.Task, src, dst, size int) sim.Time {
 	now := t.Now()
 	start := f.reserve(src, now, f.costs.Occupancy(size))
 	d := (start - now) + f.costs.SendTime(size)
-	f.ctr.MessagesSent.Add(1)
-	f.ctr.BytesSent.Add(int64(size))
+	f.ctr.Add(src, stats.EvMessagesSent, 1)
+	f.ctr.Add(src, stats.EvBytesSent, int64(size))
 	return d
 }
 
@@ -78,8 +78,8 @@ func (f *Fabric) Fetch(t *sim.Task, src, dst, size int) sim.Time {
 	now := t.Now()
 	start := f.reserve(src, now, f.costs.Occupancy(size))
 	d := (start - now) + f.costs.FetchTime(size)
-	f.ctr.Fetches.Add(1)
-	f.ctr.BytesFetched.Add(int64(size))
+	f.ctr.Add(src, stats.EvFetches, 1)
+	f.ctr.Add(src, stats.EvBytesFetched, int64(size))
 	return d
 }
 

@@ -9,7 +9,7 @@ import (
 )
 
 func newFabric(nodes int) (*Fabric, *stats.Counters) {
-	ctr := &stats.Counters{}
+	ctr := stats.NewCounters(4)
 	return New(nodes, sim.DefaultCosts(), ctr), ctr
 }
 
@@ -20,7 +20,7 @@ func TestSendLatencyMatchesCostTable(t *testing.T) {
 	if want := f.Costs().SendTime(8); d != want {
 		t.Errorf("idle send: got %v want %v", d, want)
 	}
-	if ctr.MessagesSent.Load() != 1 || ctr.BytesSent.Load() != 8 {
+	if ctr.Load(stats.EvMessagesSent) != 1 || ctr.Load(stats.EvBytesSent) != 8 {
 		t.Errorf("counters: %v", ctr)
 	}
 }
@@ -32,7 +32,7 @@ func TestFetchLatencyMatchesCostTable(t *testing.T) {
 	if want := f.Costs().FetchTime(4096); d != want {
 		t.Errorf("idle fetch: got %v want %v", d, want)
 	}
-	if ctr.Fetches.Load() != 1 || ctr.BytesFetched.Load() != 4096 {
+	if ctr.Load(stats.EvFetches) != 1 || ctr.Load(stats.EvBytesFetched) != 4096 {
 		t.Errorf("counters: %v", ctr)
 	}
 }
@@ -94,7 +94,7 @@ func TestNodeRangeChecks(t *testing.T) {
 	for _, fn := range []func(){
 		func() { f.Send(task, 0, 5, 8) },
 		func() { f.Fetch(task, -1, 0, 8) },
-		func() { New(0, sim.DefaultCosts(), &stats.Counters{}) },
+		func() { New(0, sim.DefaultCosts(), stats.NewCounters(4)) },
 	} {
 		func() {
 			defer func() {

@@ -42,6 +42,16 @@ type Task struct {
 
 	costs     *Costs
 	schedDebt Time // charged time since the last host-CPU yield
+
+	// grant is the task's reusable hand-off channel: contended lock
+	// acquires and condition waits park the task on it and the releaser or
+	// signaler delivers the hand-off instant through it.  Reusing one
+	// buffered channel per task removes a heap allocation from every
+	// contended synchronization operation.  A parked task is blocked in
+	// exactly one primitive at a time, so at most one grant is ever
+	// outstanding; primitives that abandon a wait (cancellation) must drain
+	// any in-flight grant before the channel is reused.
+	grant chan Time
 }
 
 // NewTask returns a task with the given identifiers running against the cost
@@ -52,6 +62,16 @@ func NewTask(id, node int, c *Costs) *Task {
 
 // Costs returns the task's cost table.
 func (t *Task) Costs() *Costs { return t.costs }
+
+// Grant returns the task's reusable hand-off channel (buffered, capacity 1),
+// creating it on first use.  Call only from the owner goroutine, immediately
+// before parking on it; see the field comment for the reuse contract.
+func (t *Task) Grant() chan Time {
+	if t.grant == nil {
+		t.grant = make(chan Time, 1)
+	}
+	return t.grant
+}
 
 // Now returns the task's current virtual time.
 func (t *Task) Now() Time { return Time(t.clock.Load()) }

@@ -1,6 +1,8 @@
 // Package stats collects event counters and formats the experiment tables.
-// Counters are atomic so that every layer (VMMC, protocol, CableS) can bump
-// them from concurrently running simulated threads.
+// Counters are sharded per cluster node so that every layer (VMMC, protocol,
+// CableS) can bump them from concurrently running simulated threads without
+// ping-ponging a shared cache line across host cores; totals are aggregated
+// at read time.
 package stats
 
 import (
@@ -11,65 +13,113 @@ import (
 	"sync/atomic"
 )
 
-// Counters aggregates system-wide event counts for one application run.
-type Counters struct {
+// Event identifies one system-wide event counter.
+type Event uint32
+
+// The counted events, by layer.
+const (
 	// Communication layer.
-	MessagesSent  atomic.Int64
-	BytesSent     atomic.Int64
-	Fetches       atomic.Int64
-	BytesFetched  atomic.Int64
-	Notifications atomic.Int64
+	EvMessagesSent Event = iota
+	EvBytesSent
+	EvFetches
+	EvBytesFetched
+	EvNotifications
 
 	// SVM protocol.
-	PageFaults       atomic.Int64 // all page faults taken
-	RemotePageFaults atomic.Int64 // faults served by a remote home
-	DiffsSent        atomic.Int64
-	DiffBytes        atomic.Int64
-	Invalidations    atomic.Int64
-	WriteNotices     atomic.Int64
+	EvPageFaults       // all page faults taken
+	EvRemotePageFaults // faults served by a remote home
+	EvDiffsSent
+	EvDiffBytes
+	EvInvalidations
+	EvWriteNotices
 
 	// Synchronization.
-	LockAcquires       atomic.Int64
-	RemoteLockAcquires atomic.Int64
-	Barriers           atomic.Int64
-	CondWaits          atomic.Int64
-	CondSignals        atomic.Int64
+	EvLockAcquires
+	EvRemoteLockAcquires
+	EvBarriers
+	EvCondWaits
+	EvCondSignals
 
 	// CableS management.
-	ThreadsCreated  atomic.Int64
-	NodesAttached   atomic.Int64
-	SegMigrations   atomic.Int64
-	OwnerDetects    atomic.Int64
-	AdminRequests   atomic.Int64
-	SharedAllocated atomic.Int64 // bytes of global shared memory allocated
+	EvThreadsCreated
+	EvNodesAttached
+	EvSegMigrations
+	EvOwnerDetects
+	EvAdminRequests
+	EvSharedAllocated // bytes of global shared memory allocated
+
+	numEvents
+)
+
+// NumEvents is the number of distinct counted events.
+const NumEvents = int(numEvents)
+
+// eventKeys are the Snapshot map keys, indexed by Event.
+var eventKeys = [NumEvents]string{
+	"messages", "bytesSent", "fetches", "bytesFetched", "notifications",
+	"pageFaults", "remoteFaults", "diffs", "diffBytes", "invalidations",
+	"writeNotices",
+	"lockAcquires", "remoteLocks", "barriers", "condWaits", "condSignals",
+	"threadsCreated", "nodesAttached", "segMigrations", "ownerDetects",
+	"adminRequests", "sharedBytes",
+}
+
+// String returns the Snapshot key of the event.
+func (e Event) String() string {
+	if int(e) >= NumEvents {
+		return fmt.Sprintf("Event(%d)", uint32(e))
+	}
+	return eventKeys[e]
+}
+
+// cacheLine is the padding unit separating per-node counter lanes.
+const cacheLine = 64
+
+// lane is one node's private block of event counters, padded so two nodes'
+// lanes never share a cache line.
+type lane struct {
+	v [NumEvents]atomic.Int64
+	_ [(cacheLine - (NumEvents*8)%cacheLine) % cacheLine]byte
+}
+
+// Counters aggregates system-wide event counts for one application run.
+// Writes go to the caller's node lane; reads sum all lanes.  Construct with
+// NewCounters.
+type Counters struct {
+	lanes []lane
+}
+
+// NewCounters creates a counter set sharded across nodes lanes (at least 1).
+func NewCounters(nodes int) *Counters {
+	if nodes < 1 {
+		nodes = 1
+	}
+	return &Counters{lanes: make([]lane, nodes)}
+}
+
+// Add accumulates d into event e on node's lane.  node must be a valid
+// cluster node index (counters are attributed to the node whose simulated
+// work caused the event).
+func (c *Counters) Add(node int, e Event, d int64) {
+	c.lanes[node].v[e].Add(d)
+}
+
+// Load returns the cluster-wide total for event e.
+func (c *Counters) Load(e Event) int64 {
+	var s int64
+	for i := range c.lanes {
+		s += c.lanes[i].v[e].Load()
+	}
+	return s
 }
 
 // Snapshot returns the counters as a name->value map, for reporting.
 func (c *Counters) Snapshot() map[string]int64 {
-	return map[string]int64{
-		"messages":       c.MessagesSent.Load(),
-		"bytesSent":      c.BytesSent.Load(),
-		"fetches":        c.Fetches.Load(),
-		"bytesFetched":   c.BytesFetched.Load(),
-		"notifications":  c.Notifications.Load(),
-		"pageFaults":     c.PageFaults.Load(),
-		"remoteFaults":   c.RemotePageFaults.Load(),
-		"diffs":          c.DiffsSent.Load(),
-		"diffBytes":      c.DiffBytes.Load(),
-		"invalidations":  c.Invalidations.Load(),
-		"writeNotices":   c.WriteNotices.Load(),
-		"lockAcquires":   c.LockAcquires.Load(),
-		"remoteLocks":    c.RemoteLockAcquires.Load(),
-		"barriers":       c.Barriers.Load(),
-		"condWaits":      c.CondWaits.Load(),
-		"condSignals":    c.CondSignals.Load(),
-		"threadsCreated": c.ThreadsCreated.Load(),
-		"nodesAttached":  c.NodesAttached.Load(),
-		"segMigrations":  c.SegMigrations.Load(),
-		"ownerDetects":   c.OwnerDetects.Load(),
-		"adminRequests":  c.AdminRequests.Load(),
-		"sharedBytes":    c.SharedAllocated.Load(),
+	m := make(map[string]int64, NumEvents)
+	for e := Event(0); e < numEvents; e++ {
+		m[eventKeys[e]] = c.Load(e)
 	}
+	return m
 }
 
 // String lists the non-zero counters in sorted order.

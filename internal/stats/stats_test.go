@@ -4,14 +4,16 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"unsafe"
 
 	"cables/internal/sim"
 )
 
 func TestCountersSnapshotAndString(t *testing.T) {
-	c := &Counters{}
-	c.PageFaults.Add(3)
-	c.DiffsSent.Add(2)
+	c := NewCounters(4)
+	c.Add(0, EvPageFaults, 2)
+	c.Add(3, EvPageFaults, 1) // totals aggregate across node lanes
+	c.Add(1, EvDiffsSent, 2)
 	snap := c.Snapshot()
 	if snap["pageFaults"] != 3 || snap["diffs"] != 2 || snap["barriers"] != 0 {
 		t.Errorf("snapshot: %v", snap)
@@ -26,20 +28,34 @@ func TestCountersSnapshotAndString(t *testing.T) {
 }
 
 func TestCountersConcurrent(t *testing.T) {
-	c := &Counters{}
+	c := NewCounters(8)
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
+		i := i
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := 0; j < 1000; j++ {
-				c.MessagesSent.Add(1)
+				c.Add(i, EvMessagesSent, 1)
 			}
 		}()
 	}
 	wg.Wait()
-	if c.MessagesSent.Load() != 8000 {
-		t.Errorf("messages: %d", c.MessagesSent.Load())
+	if c.Load(EvMessagesSent) != 8000 {
+		t.Errorf("messages: %d", c.Load(EvMessagesSent))
+	}
+}
+
+func TestCounterLanePadding(t *testing.T) {
+	// Two nodes' lanes must never share a cache line, or the sharding buys
+	// nothing on a multicore host.
+	c := NewCounters(2)
+	if n := len(c.lanes); n != 2 {
+		t.Fatalf("lanes: %d", n)
+	}
+	var l lane
+	if s := unsafe.Sizeof(l); s%cacheLine != 0 {
+		t.Errorf("lane size %d is not a multiple of the %d-byte cache line", s, cacheLine)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"cables/internal/san"
+	"cables/internal/stats"
 	"cables/internal/sim"
 )
 
@@ -226,8 +227,8 @@ func (s *System) StreamWrite(t *sim.Task, dst, size int) {
 	}
 	c := s.fab.Costs()
 	t.Charge(sim.CatComm, c.SendBase+c.Occupancy(size))
-	s.fab.Counters().MessagesSent.Add(1)
-	s.fab.Counters().BytesSent.Add(int64(size))
+	s.fab.Counters().Add(t.NodeID, stats.EvMessagesSent, 1)
+	s.fab.Counters().Add(t.NodeID, stats.EvBytesSent, int64(size))
 }
 
 // Notify charges t for a send carrying size bytes to dst plus the
@@ -239,5 +240,5 @@ func (s *System) Notify(t *sim.Task, dst, size int) {
 	} else {
 		t.Charge(sim.CatComm, s.fab.Send(t, t.NodeID, dst, size)+c.Notification)
 	}
-	s.fab.Counters().Notifications.Add(1)
+	s.fab.Counters().Add(t.NodeID, stats.EvNotifications, 1)
 }

@@ -11,7 +11,7 @@ import (
 )
 
 func newSys(limits Limits) *System {
-	fab := san.New(4, sim.DefaultCosts(), &stats.Counters{})
+	fab := san.New(4, sim.DefaultCosts(), stats.NewCounters(4))
 	return NewSystem(fab, limits)
 }
 
