@@ -4,9 +4,14 @@
 # without paying full benchmark time).
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench hostperf
+.PHONY: check vet build test race bench-smoke bench hostperf docs
 
-check: vet build test race bench-smoke
+check: vet build test race bench-smoke docs
+
+# Documentation lint: package doc comments on every Go package, and every
+# relative markdown link must resolve (cmd/doccheck, stdlib only).
+docs:
+	$(GO) run ./cmd/doccheck
 
 vet:
 	$(GO) vet ./...

@@ -11,7 +11,9 @@
 //	cablesim fig6 [-scale s] [-apps ...] [-procs ...] [-gran 4096]
 //	cablesim limits                 # Tables 1/2 registration-limit demo
 //	cablesim hostperf [-o file] [-compare old.json]  # host-time benchmarks → JSON
-//	cablesim all [-scale s]         # everything above (not hostperf)
+//	cablesim counters [-trace] [-apps ...] [-procs ...]  # protocol counters
+//	cablesim faults -plan <spec> [-seed N] [-apps ...] [-procs ...]
+//	cablesim all [-scale s]         # everything above (not hostperf/faults)
 //
 // -scale is "test" (fast) or "paper" (scaled evaluation sizes, default).
 // -gran overrides the OS mapping granularity in bytes (64 KB default;
@@ -24,18 +26,27 @@
 // hostperf measures simulator wall-clock only and never changes any
 // virtual-time result.  -compare prints ns/op and allocs/op deltas of the
 // fresh hostperf report against a previous one.
+// -trace makes `counters` attach a protocol trace ring to each run and
+// print its per-kind event census, the tail, and how many events the
+// bounded ring dropped (so truncated traces are visible, never silent).
+// -plan is a fault plan (see internal/fault: e.g.
+// "send:p=0.05;detach:node=1,at=5ms"); -seed picks the deterministic
+// injection stream — the same plan and seed reproduce the same faults.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
 	"cables/internal/bench"
 	"cables/internal/bench/hostperf"
+	"cables/internal/fault"
 	"cables/internal/sim"
+	"cables/internal/trace"
 )
 
 func main() {
@@ -53,6 +64,9 @@ func main() {
 	jobs := fs.Int("jobs", bench.DefaultJobs(),
 		"max concurrent simulation cells (1 = sequential; results are identical either way)")
 	compare := fs.String("compare", "", "hostperf: print deltas against a previous report (path to old JSON)")
+	traceOn := fs.Bool("trace", false, "counters: attach a protocol trace ring and print its census, tail and drop count")
+	planSpec := fs.String("plan", "", `faults: fault plan, e.g. "send:p=0.05;detach:node=1,at=5ms"`)
+	seed := fs.Uint64("seed", 1, "faults: deterministic injection seed")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -105,7 +119,18 @@ func main() {
 			}
 		}
 	case "counters":
-		runCounters(w, appList, procList, sc, costs, *jobs)
+		runCounters(w, appList, procList, sc, costs, *jobs, *traceOn)
+	case "faults":
+		if *planSpec == "" {
+			fmt.Fprintln(os.Stderr, "cablesim: faults needs -plan (see internal/fault for the spec language)")
+			os.Exit(2)
+		}
+		plan, err := fault.ParsePlan(*planSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cablesim: %v\n", err)
+			os.Exit(2)
+		}
+		bench.RunFaults(w, plan, *seed, appList, procList, sc, costs, *jobs)
 	case "all":
 		bench.Table3(w)
 		bench.Table4(w)
@@ -124,8 +149,12 @@ func main() {
 // runCounters runs applications on both backends and dumps the system
 // event counters — the protocol-level profile behind the figures.  Cells
 // run up to jobs at a time; each cell renders its block into a slot and the
-// blocks print in the original sequential order.
-func runCounters(w *os.File, apps []string, procs []int, sc bench.Scale, costs *sim.Costs, jobs int) {
+// blocks print in the original sequential order.  With traceOn, each run
+// also carries a protocol trace ring whose per-kind census, recent tail,
+// and dropped-event count are appended to the block (the ring is bounded:
+// a non-zero dropped count means the census covers only the retained
+// suffix).
+func runCounters(w *os.File, apps []string, procs []int, sc bench.Scale, costs *sim.Costs, jobs int, traceOn bool) {
 	if len(apps) == 0 {
 		apps = bench.AppNames
 	}
@@ -148,6 +177,15 @@ func runCounters(w *os.File, apps []string, procs []int, sc bench.Scale, costs *
 	blocks := make([]string, len(specs))
 	errs := bench.RunCells(jobs, len(specs), func(i int) {
 		s := specs[i]
+		if traceOn {
+			res, ctr, ring, err := bench.RunAppTraced(s.app, s.backend, s.procs, sc, costs, 4096)
+			if err != nil {
+				blocks[i] = fmt.Sprintf("%s/%s p=%d: FAILED: %v\n", s.app, s.backend, s.procs, err)
+				return
+			}
+			blocks[i] = fmt.Sprintf("%s\n  %s\n%s", res, ctr, traceBlock(ring))
+			return
+		}
 		res, ctr, err := bench.RunAppCounters(s.app, s.backend, s.procs, sc, costs)
 		if err != nil {
 			blocks[i] = fmt.Sprintf("%s/%s p=%d: FAILED: %v\n", s.app, s.backend, s.procs, err)
@@ -163,6 +201,30 @@ func runCounters(w *os.File, apps []string, procs []int, sc bench.Scale, costs *
 		}
 		fmt.Fprint(w, b)
 	}
+}
+
+// traceBlock renders a run's trace ring: per-kind counts sorted by kind,
+// the last few events, and — crucially — how many events the bounded ring
+// overwrote, so a truncated trace is never mistaken for a complete one.
+func traceBlock(ring *trace.Ring) string {
+	var b strings.Builder
+	counts := ring.Counts()
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	b.WriteString("  trace:")
+	for _, k := range kinds {
+		fmt.Fprintf(&b, " %s=%d", k, counts[trace.Kind(k)])
+	}
+	fmt.Fprintf(&b, " dropped=%d\n", ring.Dropped())
+	if tail := ring.Tail(8); tail != "" {
+		for _, line := range strings.Split(strings.TrimRight(tail, "\n"), "\n") {
+			b.WriteString("    " + line + "\n")
+		}
+	}
+	return b.String()
 }
 
 func splitList(s string) []string {
@@ -190,6 +252,7 @@ func parseInts(s string) []int {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: cablesim <table3|counters|table4|table5|table6|fig5|fig6|fig5+6|limits|hostperf|all> [flags]
-flags: -scale test|paper  -apps A,B  -procs 1,4,8  -gran bytes  -jobs N  -o report.json  -compare old.json`)
+	fmt.Fprintln(os.Stderr, `usage: cablesim <table3|counters|table4|table5|table6|fig5|fig6|fig5+6|limits|hostperf|faults|all> [flags]
+flags: -scale test|paper  -apps A,B  -procs 1,4,8  -gran bytes  -jobs N  -o report.json  -compare old.json
+       -trace (counters)  -plan "send:p=0.05;detach:node=1,at=5ms" -seed N (faults)`)
 }

@@ -1,0 +1,171 @@
+// Command doccheck lints the repository's documentation surface, using only
+// the standard library:
+//
+//   - every Go package (outside _test packages) must carry a package doc
+//     comment, and non-main packages must start it with the canonical
+//     "Package <name> ..." form godoc expects;
+//   - every relative link in the markdown files must resolve to a file or
+//     directory that exists in the repository.
+//
+// It walks the tree rooted at the optional -root flag (default ".") and
+// exits non-zero listing every violation, so CI can gate on it
+// (`make docs`).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root to lint")
+	flag.Parse()
+
+	var problems []string
+	pkgProblems, err := checkPackageDocs(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		os.Exit(2)
+	}
+	problems = append(problems, pkgProblems...)
+
+	linkProblems, err := checkMarkdownLinks(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		os.Exit(2)
+	}
+	problems = append(problems, linkProblems...)
+
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("doccheck: ok")
+}
+
+// skipDir reports whether a directory should not be descended into.
+func skipDir(name string) bool {
+	return name == ".git" || name == "testdata" || name == "vendor" ||
+		strings.HasPrefix(name, ".") && name != "." && name != ".github"
+}
+
+// checkPackageDocs requires a package doc comment on every Go package: any
+// comment for main packages, the canonical "Package <name>" form otherwise.
+// One documented file per package is enough (the Go convention: the doc
+// lives in one file, commonly the one named after the package).
+func checkPackageDocs(root string) ([]string, error) {
+	dirs := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dirs[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var problems []string
+	for dir := range dirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", dir, err)
+		}
+		for name, pkg := range pkgs {
+			if strings.HasSuffix(name, "_test") {
+				continue
+			}
+			doc := ""
+			for _, f := range pkg.Files {
+				if f.Doc != nil {
+					doc = f.Doc.Text()
+					break
+				}
+			}
+			switch {
+			case doc == "":
+				problems = append(problems,
+					fmt.Sprintf("%s: package %s has no package doc comment", dir, name))
+			case name != "main" && !strings.HasPrefix(doc, "Package "+name+" ") &&
+				!strings.HasPrefix(doc, "Package "+name+"\n"):
+				problems = append(problems,
+					fmt.Sprintf("%s: package %s doc comment does not start with %q",
+						dir, name, "Package "+name))
+			}
+		}
+	}
+	return problems, nil
+}
+
+// mdLink matches the target of an inline markdown link: ](target).
+var mdLink = regexp.MustCompile(`\]\(([^()\s]+)\)`)
+
+// checkMarkdownLinks resolves every relative link in every .md file against
+// the filesystem.  External schemes, mailto and pure-fragment links are
+// skipped; a #fragment suffix on a file link is stripped before the check.
+func checkMarkdownLinks(root string) ([]string, error) {
+	var problems []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") ||
+				strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems,
+					fmt.Sprintf("%s: broken link %q (%s does not exist)", path, m[1], resolved))
+			}
+		}
+		return nil
+	})
+	return problems, err
+}

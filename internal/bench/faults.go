@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"cables/internal/apps/appapi"
+	cables "cables/internal/core"
+	"cables/internal/fault"
+	"cables/internal/genima"
+	"cables/internal/m4"
+	"cables/internal/sim"
+	"cables/internal/stats"
+	"cables/internal/trace"
+)
+
+// NewFaultRuntime builds an application runtime with a fault injector
+// installed.  inj may be nil, in which case this is exactly NewRuntime.
+func NewFaultRuntime(backend string, procs int, arena int64, costs *sim.Costs, inj *fault.Injector) appapi.Runtime {
+	switch backend {
+	case BackendGenima:
+		return m4.New(m4.Config{Procs: procs, ProcsPerNode: 2, ArenaBytes: arena, Costs: costs, Fault: inj})
+	case BackendCables:
+		return cables.NewM4(cables.M4Config{Procs: procs, ProcsPerNode: 2, ArenaBytes: arena, Costs: costs, Fault: inj})
+	default:
+		panic(fmt.Sprintf("bench: unknown backend %q", backend))
+	}
+}
+
+// protocolOf digs the SVM protocol instance out of either backend (for
+// attaching a trace ring); nil if the backend is unknown.
+func protocolOf(rt appapi.Runtime) *genima.Protocol {
+	switch b := rt.(type) {
+	case *m4.Runtime:
+		return b.Protocol()
+	case *cables.M4Runtime:
+		return b.Runtime().Protocol()
+	}
+	return nil
+}
+
+// RunAppTraced runs an application with a trace ring of the given capacity
+// attached to the protocol, returning the result, the event counters, and
+// the ring (inspect Events/Counts/Dropped).
+func RunAppTraced(name, backend string, procs int, scale Scale, costs *sim.Costs, ringCap int) (appapi.Result, *stats.Counters, *trace.Ring, error) {
+	rt := NewRuntime(backend, procs, 256<<20, costs)
+	ring := trace.NewRing(ringCap)
+	if p := protocolOf(rt); p != nil {
+		p.Trace = ring
+	}
+	res, err := runAppOn(rt, name, scale)
+	return res, rt.Cluster().Ctr, ring, err
+}
+
+// RunAppFault runs an application with the given fault injector installed
+// (trace ring attached to both the protocol and the injector) and returns
+// the result plus the run's counters and ring.
+func RunAppFault(name, backend string, procs int, scale Scale, costs *sim.Costs, inj *fault.Injector, ringCap int) (appapi.Result, *stats.Counters, *trace.Ring, error) {
+	rt := NewFaultRuntime(backend, procs, 256<<20, costs, inj)
+	ring := trace.NewRing(ringCap)
+	if p := protocolOf(rt); p != nil {
+		p.Trace = ring
+	}
+	if inj != nil {
+		inj.BindTrace(ring)
+	}
+	res, err := runAppOn(rt, name, scale)
+	return res, rt.Cluster().Ctr, ring, err
+}
+
+// FaultCell is one (app, procs, backend) outcome of a faulted sweep.
+type FaultCell struct {
+	Res      appapi.Result
+	Ctr      *stats.Counters
+	Injected int64 // fault firings observed by the cell's injector
+	Err      error
+}
+
+// faultEvents are the injection/recovery counters summarized per cell.
+var faultEvents = []stats.Event{
+	stats.EvFaultsInjected, stats.EvSendRetries, stats.EvFetchRetries,
+	stats.EvNotifyLost, stats.EvRegRecoveries, stats.EvLockRehomes,
+	stats.EvBarrierRehomes, stats.EvPageRehomes, stats.EvNodeDetaches,
+	stats.EvAttachDelays,
+}
+
+// RunFaults runs the Figure 5 sweep under a fault plan and renders the
+// outcome table: a cell completes DEGRADED (with its parallel time) when
+// faults fired during it, FAILED only when the run did not complete, and a
+// bare time when the plan never triggered in that cell.  Every cell gets
+// its own injector built from the same plan+seed, so cells are independent
+// and the whole table is reproducible from (plan, seed).
+func RunFaults(w io.Writer, plan fault.Plan, seed uint64, apps []string, procs []int, scale Scale, costs *sim.Costs, jobs int) *stats.Table {
+	if len(apps) == 0 {
+		apps = AppNames
+	}
+	if len(procs) == 0 {
+		procs = ProcCounts
+	}
+	specs := fig5Cells(apps, procs)
+	cells := make([]FaultCell, len(specs))
+	errs := RunCells(jobs, len(specs), func(i int) {
+		s := specs[i]
+		inj := fault.New(plan, seed)
+		res, ctr, _, err := RunAppFault(s.app, s.backend, s.procs, scale, costs, inj, 0)
+		cells[i] = FaultCell{Res: res, Ctr: ctr, Injected: inj.Injected(), Err: err}
+	})
+
+	header := []string{"Application", "System"}
+	for _, p := range procs {
+		header = append(header, fmt.Sprintf("%dp", p))
+	}
+	tab := stats.NewTable(header...)
+	byCell := make(map[string]FaultCell, len(specs))
+	for i, s := range specs {
+		c := cells[i]
+		if errs[i] != nil && c.Err == nil {
+			c.Err = errs[i]
+		}
+		byCell[fmt.Sprintf("%s/%d/%s", s.app, s.procs, s.backend)] = c
+	}
+	for _, app := range apps {
+		for _, backend := range []string{BackendGenima, BackendCables} {
+			row := []string{app, backend}
+			for _, p := range procs {
+				c := byCell[fmt.Sprintf("%s/%d/%s", app, p, backend)]
+				switch {
+				case c.Err != nil:
+					row = append(row, "FAILED")
+				case c.Injected > 0:
+					row = append(row, fmt.Sprintf("DEGRADED(%v)", c.Res.Parallel))
+				default:
+					row = append(row, c.Res.Parallel.String())
+				}
+			}
+			tab.AddRow(row...)
+		}
+	}
+	if w != nil {
+		fprintf(w, "Fault sweep: plan %q seed %d\n%s\n", plan, seed, tab)
+		for _, app := range apps {
+			for _, p := range procs {
+				for _, backend := range []string{BackendGenima, BackendCables} {
+					c := byCell[fmt.Sprintf("%s/%d/%s", app, p, backend)]
+					if c.Err != nil || c.Ctr == nil {
+						continue
+					}
+					line := ""
+					for _, e := range faultEvents {
+						if v := c.Ctr.Load(e); v != 0 {
+							line += fmt.Sprintf(" %s=%d", e, v)
+						}
+					}
+					if line != "" {
+						fprintf(w, "%s/%s p=%d:%s\n", app, backend, p, line)
+					}
+				}
+			}
+		}
+	}
+	return tab
+}

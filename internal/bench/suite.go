@@ -3,6 +3,14 @@
 // exported TableN/FigN function prints the same rows/series the paper
 // reports; bench_test.go at the repository root exposes them as Go
 // benchmarks.
+//
+// Beyond the paper's artifacts the harness exposes counter profiles
+// (RunAppCounters, RunAppTraced — `cablesim counters [-trace]`), fault
+// sweeps under a deterministic injection plan (RunFaults — `cablesim
+// faults`, cells render DEGRADED rather than FAILED when the plan fires),
+// and host wall-clock benchmarks (subpackage hostperf).  Independent cells
+// run concurrently on a bounded worker pool (RunCells, `-jobs N`) without
+// changing any virtual-time result.
 package bench
 
 import (

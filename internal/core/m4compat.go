@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"cables/internal/apps/appapi"
+	"cables/internal/fault"
 	"cables/internal/memsys"
 	"cables/internal/nodeos"
 	"cables/internal/sim"
@@ -34,6 +35,8 @@ type M4Config struct {
 	Costs        *sim.Costs
 	// Placement optionally overrides the allocator's home policy.
 	Placement string
+	// Fault optionally injects deterministic faults (see internal/fault).
+	Fault *fault.Injector
 }
 
 // NewM4 builds the CableS backend for a P-processor run.
@@ -52,6 +55,7 @@ func NewM4(cfg M4Config) *M4Runtime {
 		Costs:           cfg.Costs,
 		Placement:       cfg.Placement,
 		CoordinatorMain: true,
+		Fault:           cfg.Fault,
 	})
 	rt.Start()
 	return &M4Runtime{

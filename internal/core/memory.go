@@ -138,7 +138,7 @@ func (m *MemManager) initGlobalData(t *sim.Task, size int64) {
 	for u := m.UnitOf(first); u <= m.UnitOf(last); u++ {
 		m.unitHome[u].Store(int32(m.rt.acb.masterNode))
 	}
-	if err := m.growHome(m.rt.acb.masterNode, int64(m.rt.cl.Costs.MapGranularity)*int64(m.UnitOf(last)-m.UnitOf(first)+1)); err != nil {
+	if err := m.growHome(t, m.rt.acb.masterNode, int64(m.rt.cl.Costs.MapGranularity)*int64(m.UnitOf(last)-m.UnitOf(first)+1)); err != nil {
 		panic("cables: GLOBAL_DATA pinning failed: " + err.Error())
 	}
 	m.rt.cl.Nodes[m.rt.acb.masterNode].ChargeMapSegment(t)
@@ -157,9 +157,14 @@ func (m *MemManager) GlobalVar(size int64) memsys.Addr {
 	return addr
 }
 
-// growHome extends a node's pinned home-pages region by extra bytes,
-// falling back over other attached nodes if the NIC cannot pin more.
-func (m *MemManager) growHome(node int, extra int64) error {
+// growHome extends a node's pinned home-pages region by extra bytes on
+// behalf of thread t.  Under fault injection the grow rides out transient
+// NIC registration-memory exhaustion via VMMC's deregister/re-register
+// recovery before the caller falls back to another home.
+func (m *MemManager) growHome(t *sim.Task, node int, extra int64) error {
+	if t != nil {
+		return m.rt.cl.VMMC.GrowRecover(t, node, m.homeRegion[node], extra)
+	}
 	return m.rt.cl.VMMC.NIC(node).Grow(m.homeRegion[node], extra)
 }
 
@@ -181,13 +186,18 @@ func (m *MemManager) HomeFor(t *sim.Task, pid memsys.PageID) int {
 	if m.roundRobin {
 		want = int32(m.rrNext.Add(1)-1) % int32(m.rt.cfg.MaxNodes)
 	}
+	// Never place a new home on a node a fault plan has detached: the unit
+	// falls through to the master, which can always host it.
+	if m.rt.cl.Fault.Detached(int(want), t.Now()) {
+		want = int32(master)
+	}
 	if m.unitHome[unit].CompareAndSwap(memsys.NoHome, want) {
 		// This touch claimed the unit: segment migration (first time).
 		unitBytes := int64(memsys.PageSize) << m.unitShift
-		if err := m.growHome(int(want), unitBytes); err != nil {
+		if err := m.growHome(t, int(want), unitBytes); err != nil {
 			// Pinned/registered limit on the desired home: fall back to the
 			// master node's region (placement degrades, execution survives).
-			if err2 := m.growHome(master, unitBytes); err2 != nil {
+			if err2 := m.growHome(t, master, unitBytes); err2 != nil {
 				panic("cables: no node can host home pages: " + err.Error())
 			}
 			m.unitHome[unit].Store(int32(master))

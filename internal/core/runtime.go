@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sync"
 
+	"cables/internal/fault"
 	"cables/internal/genima"
 	"cables/internal/memsys"
 	"cables/internal/nodeos"
@@ -55,6 +56,10 @@ type Config struct {
 	// spends the run blocked in joins: it does not occupy a scheduling slot
 	// when placing new threads (the SPLASH CREATE/WAIT_FOR_END template).
 	CoordinatorMain bool
+	// Fault optionally injects deterministic faults (transient NIC
+	// failures, registration pressure, node lifecycle events); nil keeps
+	// every charge bit-identical to the fault-free build.
+	Fault *fault.Injector
 }
 
 // Runtime is one CableS application instance.
@@ -133,6 +138,7 @@ func New(cfg Config) *Runtime {
 		NumNodes:     cfg.MaxNodes,
 		ProcsPerNode: cfg.ProcsPerNode,
 		Costs:        cfg.Costs,
+		Fault:        cfg.Fault,
 	})
 	rt := &Runtime{cl: cl, cfg: cfg}
 	rt.acb = &ACB{
@@ -213,6 +219,11 @@ func (rt *Runtime) chargeAdmin(t *sim.Task) {
 // Caller must NOT hold acb.mu.
 func (rt *Runtime) attachNode(t *sim.Task, node int) {
 	c := rt.cl.Costs
+	// A fault plan may delay the node's boot; the attaching thread blocks
+	// for the extra latency before the normal attach sequence begins.
+	if d := rt.cl.Fault.AttachDelay(node, t.Now()); d > 0 {
+		t.Charge(sim.CatWait, d)
+	}
 	// Charged sequential chain (sums to the observed 3690 ms total).
 	t.Charge(sim.CatLocal, c.AttachLocal)
 	t.Charge(sim.CatLocalOS, c.AttachLocalOS)
@@ -239,7 +250,7 @@ func (rt *Runtime) AttachNode(t *sim.Task) (int, error) {
 	rt.acb.mu.Lock()
 	node := -1
 	for n := 0; n < rt.cfg.MaxNodes; n++ {
-		if !rt.acb.attached[n] {
+		if !rt.acb.attached[n] && !rt.cl.Fault.Detached(n, t.Now()) {
 			node = n
 			break
 		}
@@ -252,10 +263,13 @@ func (rt *Runtime) AttachNode(t *sim.Task) (int, error) {
 	return node, nil
 }
 
-// pickNode chooses the node for a new thread: round-robin over attached
-// nodes, attaching a fresh node when all attached nodes are at the
-// ThreadsPerNode limit.  Returns the node and whether attach is required.
-func (rt *Runtime) pickNode() (node int, needAttach bool) {
+// pickNode chooses the node for a new thread at virtual instant now:
+// round-robin over attached nodes, attaching a fresh node when all attached
+// nodes are at the ThreadsPerNode limit.  Nodes a fault plan has detached by
+// now are never chosen; their in-flight threads drain but no new work lands
+// on them.  Returns the node and whether attach is required.
+func (rt *Runtime) pickNode(now sim.Time) (node int, needAttach bool) {
+	dead := func(n int) bool { return rt.cl.Fault.Detached(n, now) }
 	a := rt.acb
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -267,7 +281,7 @@ func (rt *Runtime) pickNode() (node int, needAttach bool) {
 	}
 	if live+1 > a.numAttach*rt.cfg.ThreadsPerNode {
 		for n := 0; n < rt.cfg.MaxNodes; n++ {
-			if !a.attached[n] {
+			if !a.attached[n] && !dead(n) {
 				a.attached[n] = true // reserve; attach completes outside
 				a.numAttach++
 				a.liveOnNode[n]++
@@ -277,15 +291,17 @@ func (rt *Runtime) pickNode() (node int, needAttach bool) {
 	}
 	for i := 0; i < rt.cfg.MaxNodes; i++ {
 		n := (a.rrNode + i) % rt.cfg.MaxNodes
-		if a.attached[n] && a.liveOnNode[n] < rt.cfg.ThreadsPerNode {
+		if a.attached[n] && !dead(n) && a.liveOnNode[n] < rt.cfg.ThreadsPerNode {
 			a.rrNode = (n + 1) % rt.cfg.MaxNodes
 			a.liveOnNode[n]++
 			return n, false
 		}
 	}
 	// Every attached node is full and no node is left: overload round-robin.
+	// The master can always take overload, so this terminates even when a
+	// fault plan has detached every other node.
 	n := a.rrNode % rt.cfg.MaxNodes
-	for !a.attached[n] {
+	for !a.attached[n] || (dead(n) && n != a.masterNode) {
 		n = (n + 1) % rt.cfg.MaxNodes
 	}
 	a.rrNode = (n + 1) % rt.cfg.MaxNodes
@@ -302,7 +318,7 @@ func (rt *Runtime) Create(parent *sim.Task, fn func(th *Thread)) *Thread {
 	// visible to the child (POSIX 4.12).
 	rt.proto.Flush(parent)
 	c := rt.cl.Costs
-	node, needAttach := rt.pickNode()
+	node, needAttach := rt.pickNode(parent.Now())
 	if needAttach {
 		rt.acb.mu.Lock()
 		rt.acb.attached[node] = false // attachNode re-marks under its own charges

@@ -1,0 +1,261 @@
+// Package fault injects deterministic, virtual-time-scheduled faults into
+// the simulated cluster: transient NIC send/fetch failures, notification
+// loss, NIC registration-memory exhaustion, and node lifecycle events
+// (delayed attach, mid-run detach).
+//
+// A fault plan (see ParsePlan) paired with a seed yields an Injector.  Every
+// injection decision is a pure function of (per-rule seed key, src, dst,
+// attempt, virtual now) — no shared RNG stream is consumed — so the same
+// plan+seed reproduces identical decisions regardless of host goroutine
+// interleaving.  Faults add latency, retries and re-homing work; they never
+// lose data, so a faulted run completes with correct results (DEGRADED, not
+// FAILED, in the bench harness).
+//
+// A nil *Injector disables all injection: consumers guard every hook with a
+// nil check, and the simulator's virtual-time charges stay bit-identical to
+// a build without the package.
+package fault
+
+import (
+	"sync/atomic"
+
+	"cables/internal/sim"
+	"cables/internal/stats"
+	"cables/internal/trace"
+)
+
+// Retry policy constants shared by the VMMC data-plane retry loops.
+const (
+	// MaxSendRetries bounds transient send/fetch/notify retries; past the
+	// cap the operation proceeds (the fault window is treated as over for
+	// that operation) so progress is guaranteed.
+	MaxSendRetries = 8
+	// MaxRegRetries bounds NIC registration-recovery attempts under
+	// registration-memory pressure before falling back to remote homing.
+	MaxRegRetries = 12
+	// backoffBase is the first retry's backoff; attempt n waits
+	// backoffBase << n, capped at backoffCap.
+	backoffBase = 25 * sim.Microsecond
+	backoffCap  = 800 * sim.Microsecond
+)
+
+// Backoff returns the exponential backoff delay charged before retry
+// attempt (0-based): 25us, 50us, 100us, ... capped at 800us.
+func Backoff(attempt int) sim.Time {
+	d := backoffBase << uint(attempt)
+	if d > backoffCap || d <= 0 {
+		return backoffCap
+	}
+	return d
+}
+
+// Injector evaluates a fault plan against a seed.  All methods are safe for
+// concurrent use; all decision methods are deterministic in their arguments.
+// The zero-value rules: a nil *Injector injects nothing (callers nil-check).
+type Injector struct {
+	plan Plan
+	seed uint64
+	// keys[i] is rule i's decision-hash key, derived from the seed so that
+	// two rules of the same kind fire independently.
+	keys []uint64
+
+	ctr   *stats.Counters
+	ring  atomic.Pointer[trace.Ring]
+	total atomic.Int64 // injections observed (DEGRADED detection)
+
+	// detachSeen[n] flips once when node n's detach is first observed, so
+	// the detach trace/counter event records exactly once, timestamped at
+	// the plan's detach instant (deterministic even though the observing
+	// query races).
+	detachSeen []atomic.Bool
+}
+
+// New builds an injector for plan with the given seed.
+func New(plan Plan, seed uint64) *Injector {
+	rng := sim.NewRNG(seed)
+	inj := &Injector{plan: plan, seed: seed, keys: make([]uint64, len(plan.Rules))}
+	for i := range inj.keys {
+		inj.keys[i] = rng.Uint64()
+	}
+	inj.detachSeen = make([]atomic.Bool, plan.MaxNode()+1)
+	return inj
+}
+
+// Plan returns the injector's plan.
+func (j *Injector) Plan() Plan { return j.plan }
+
+// Seed returns the injector's seed.
+func (j *Injector) Seed() uint64 { return j.seed }
+
+// BindCounters routes injection counters into ctr (EvFaultsInjected and the
+// per-class retry/loss events).  Call once during cluster construction.
+func (j *Injector) BindCounters(ctr *stats.Counters) { j.ctr = ctr }
+
+// BindTrace routes fault events into ring (kinds inject/detach/rehome/rereg).
+func (j *Injector) BindTrace(ring *trace.Ring) { j.ring.Store(ring) }
+
+// Injected reports how many faults have fired so far.  The bench harness
+// renders a cell DEGRADED (instead of a bare time) when this is non-zero.
+func (j *Injector) Injected() int64 {
+	if j == nil {
+		return 0
+	}
+	return j.total.Load()
+}
+
+// decide is the deterministic coin flip: rule i fires for (src, dst,
+// attempt, now) iff hash(key_i, src, dst, attempt, now) < p.  The hash is
+// SplitMix64 over the mixed arguments, matching sim.RNG's output quality.
+func (j *Injector) decide(i, src, dst, attempt int, now sim.Time, p float64) bool {
+	x := j.keys[i]
+	x ^= uint64(src)*0x9E3779B97F4A7C15 + uint64(dst)*0xC2B2AE3D27D4EB4F
+	x ^= uint64(attempt)*0x165667B19E3779F9 + uint64(now)
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11)/(1<<53) < p
+}
+
+// note records one injection: bumps the stats counter ev on node, the
+// global injected tally, and appends a trace event.
+func (j *Injector) note(node int, ev stats.Event, kind trace.Kind, at sim.Time, arg uint64) {
+	j.total.Add(1)
+	if j.ctr != nil {
+		j.ctr.Add(node, stats.EvFaultsInjected, 1)
+		j.ctr.Add(node, ev, 1)
+	}
+	if r := j.ring.Load(); r != nil {
+		r.Add(at, node, kind, arg)
+	}
+}
+
+// fail evaluates all rules of kind k for an operation from src to dst at
+// instant now, on retry attempt (0-based).
+func (j *Injector) fail(k RuleKind, src, dst, attempt int, now sim.Time, ev stats.Event) bool {
+	if j == nil {
+		return false
+	}
+	for i := range j.plan.Rules {
+		r := &j.plan.Rules[i]
+		if r.Kind != k || !r.matches(src, now) {
+			continue
+		}
+		if j.decide(i, src, dst, attempt, now, r.P) {
+			j.note(src, ev, trace.KindInject, now, uint64(dst))
+			return true
+		}
+	}
+	return false
+}
+
+// FailSend reports whether the send from src to dst at virtual instant now
+// (retry attempt, 0-based) suffers a transient NIC failure.
+func (j *Injector) FailSend(src, dst, attempt int, now sim.Time) bool {
+	return j.fail(KindSend, src, dst, attempt, now, stats.EvSendRetries)
+}
+
+// FailFetch reports whether the remote read by src from dst fails.
+func (j *Injector) FailFetch(src, dst, attempt int, now sim.Time) bool {
+	return j.fail(KindFetch, src, dst, attempt, now, stats.EvFetchRetries)
+}
+
+// LoseNotify reports whether the notification from src to dst is lost in
+// flight (the sender times out and re-sends).
+func (j *Injector) LoseNotify(src, dst, attempt int, now sim.Time) bool {
+	return j.fail(KindNotify, src, dst, attempt, now, stats.EvNotifyLost)
+}
+
+// RegReserve returns the NIC registration-memory pressure (bytes reserved by
+// a competing consumer) on node at instant now.  The VMMC layer subtracts it
+// from the node's effective registered-byte limit.
+func (j *Injector) RegReserve(node int, now sim.Time) int64 {
+	if j == nil {
+		return 0
+	}
+	var sum int64
+	for i := range j.plan.Rules {
+		r := &j.plan.Rules[i]
+		if r.Kind == KindNICMem && r.matches(node, now) {
+			sum += r.Reserve
+		}
+	}
+	return sum
+}
+
+// NoteRegRecovery records one completed deregister/re-register recovery
+// cycle on node at instant now (region id in arg).
+func (j *Injector) NoteRegRecovery(node int, now sim.Time, region uint64) {
+	if j == nil {
+		return
+	}
+	j.note(node, stats.EvRegRecoveries, trace.KindRereg, now, region)
+}
+
+// DetachAt returns the virtual instant node detaches, or 0 if the plan
+// never detaches it.
+func (j *Injector) DetachAt(node int) sim.Time {
+	if j == nil {
+		return 0
+	}
+	for i := range j.plan.Rules {
+		r := &j.plan.Rules[i]
+		if r.Kind == KindDetach && r.Node == node {
+			return r.From
+		}
+	}
+	return 0
+}
+
+// Detached reports whether node has detached by virtual instant now.  The
+// first observation records the detach through stats/trace, timestamped at
+// the plan's detach instant.
+func (j *Injector) Detached(node int, now sim.Time) bool {
+	if j == nil {
+		return false
+	}
+	at := j.DetachAt(node)
+	if at == 0 || now < at {
+		return false
+	}
+	if node < len(j.detachSeen) && j.detachSeen[node].CompareAndSwap(false, true) {
+		j.note(node, stats.EvNodeDetaches, trace.KindDetach, at, uint64(node))
+	}
+	return true
+}
+
+// AttachDelay returns the extra virtual latency the plan imposes on node's
+// attach, recording the injection if non-zero.
+func (j *Injector) AttachDelay(node int, now sim.Time) sim.Time {
+	if j == nil {
+		return 0
+	}
+	var d sim.Time
+	for i := range j.plan.Rules {
+		r := &j.plan.Rules[i]
+		if r.Kind == KindAttach && r.Node == node {
+			d += r.Delay
+		}
+	}
+	if d > 0 {
+		j.note(node, stats.EvAttachDelays, trace.KindInject, now, uint64(node))
+	}
+	return d
+}
+
+// NoteRehome records protocol state (lock, barrier, or page — arg
+// identifies it) re-homing from a detached node to node at instant now.
+// The caller bumps the specific EvLockRehomes/EvBarrierRehomes/EvPageRehomes
+// counter; this adds the shared tally and trace event.
+func (j *Injector) NoteRehome(node int, now sim.Time, arg uint64) {
+	if j == nil {
+		return
+	}
+	j.total.Add(1)
+	if j.ctr != nil {
+		j.ctr.Add(node, stats.EvFaultsInjected, 1)
+	}
+	if r := j.ring.Load(); r != nil {
+		r.Add(now, node, trace.KindRehome, arg)
+	}
+}

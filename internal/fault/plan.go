@@ -1,0 +1,337 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cables/internal/sim"
+)
+
+// RuleKind names a fault class a plan rule injects.
+type RuleKind string
+
+// The supported fault classes.
+const (
+	// KindSend makes NIC sends from a node fail transiently (the sender
+	// times out and retries with backoff).
+	KindSend RuleKind = "send"
+	// KindFetch makes direct remote reads fail transiently.
+	KindFetch RuleKind = "fetch"
+	// KindNotify drops delivered notifications (the sender times out
+	// waiting for the acknowledgement and re-sends).
+	KindNotify RuleKind = "notify"
+	// KindNICMem reserves NIC registration memory on a node for a window of
+	// virtual time, forcing region deregister/re-register recovery when the
+	// node needs to grow its pinned home region.
+	KindNICMem RuleKind = "nicmem"
+	// KindDetach removes a node from the application at a virtual instant:
+	// no new threads, locks, or page homes are placed on it, and existing
+	// protocol state re-homes away on demand.
+	KindDetach RuleKind = "detach"
+	// KindAttach delays a node's attach by a fixed virtual duration
+	// (a slow-to-boot or oversubscribed machine).
+	KindAttach RuleKind = "attach"
+)
+
+// Rule is one entry of a fault plan.
+type Rule struct {
+	Kind RuleKind
+	// Node restricts the rule to one node (-1 = any).  For nicmem, detach
+	// and attach rules the node is mandatory.
+	Node int
+	// P is the per-operation failure probability for send/fetch/notify.
+	P float64
+	// From/To bound the active window in virtual time.  To == 0 means
+	// open-ended.  detach uses From as the detach instant.
+	From, To sim.Time
+	// Reserve is the registered-byte pressure applied by a nicmem rule.
+	Reserve int64
+	// Delay is the extra attach latency of an attach rule.
+	Delay sim.Time
+}
+
+// active reports whether the rule's window covers virtual instant now.
+func (r *Rule) active(now sim.Time) bool {
+	return now >= r.From && (r.To == 0 || now < r.To)
+}
+
+// matches reports whether the rule applies to node at instant now.
+func (r *Rule) matches(node int, now sim.Time) bool {
+	return (r.Node < 0 || r.Node == node) && r.active(now)
+}
+
+// String renders the rule in the plan DSL (ParsePlan round-trips it).
+func (r Rule) String() string {
+	var parts []string
+	switch r.Kind {
+	case KindSend, KindFetch, KindNotify:
+		parts = append(parts, fmt.Sprintf("p=%g", r.P))
+		if r.Node >= 0 {
+			parts = append(parts, fmt.Sprintf("node=%d", r.Node))
+		}
+		if r.From > 0 {
+			parts = append(parts, "from="+formatDur(r.From))
+		}
+		if r.To > 0 {
+			parts = append(parts, "to="+formatDur(r.To))
+		}
+	case KindNICMem:
+		parts = append(parts, fmt.Sprintf("node=%d", r.Node),
+			"reserve="+formatBytes(r.Reserve))
+		if r.From > 0 {
+			parts = append(parts, "from="+formatDur(r.From))
+		}
+		if r.To > 0 {
+			parts = append(parts, "to="+formatDur(r.To))
+		}
+	case KindDetach:
+		parts = append(parts, fmt.Sprintf("node=%d", r.Node), "at="+formatDur(r.From))
+	case KindAttach:
+		parts = append(parts, fmt.Sprintf("node=%d", r.Node), "delay="+formatDur(r.Delay))
+	}
+	return string(r.Kind) + ":" + strings.Join(parts, ",")
+}
+
+// Plan is a parsed fault plan: an ordered rule list.  Plans are pure data —
+// pair one with a seed in New to obtain an Injector.
+type Plan struct {
+	Rules []Rule
+}
+
+// String renders the plan in the DSL; ParsePlan(p.String()) reproduces p.
+func (p Plan) String() string {
+	parts := make([]string, len(p.Rules))
+	for i, r := range p.Rules {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// MaxNode returns the largest node index named by any rule (-1 if none).
+func (p Plan) MaxNode() int {
+	max := -1
+	for _, r := range p.Rules {
+		if r.Node > max {
+			max = r.Node
+		}
+	}
+	return max
+}
+
+// ParsePlan parses the fault-plan DSL: semicolon-separated rules of the form
+// kind:key=value,key=value.  Examples:
+//
+//	send:p=0.05,from=1ms,to=80ms      5% transient send failures in a window
+//	fetch:p=0.1,node=2                10% fetch failures on node 2's NIC
+//	notify:p=0.2                      20% notification loss
+//	nicmem:node=1,reserve=64M,from=5ms,to=40ms   NIC registration pressure
+//	detach:node=3,at=200ms            node 3 leaves at t=200ms
+//	attach:node=2,delay=500ms         node 2 attaches 500ms late
+//
+// Durations take ns/us/ms/s suffixes; byte sizes take K/M/G suffixes.
+// Node 0 (the master) cannot detach.
+func ParsePlan(spec string) (Plan, error) {
+	var p Plan
+	for _, rs := range strings.Split(spec, ";") {
+		rs = strings.TrimSpace(rs)
+		if rs == "" {
+			continue
+		}
+		r, err := parseRule(rs)
+		if err != nil {
+			return Plan{}, err
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	if len(p.Rules) == 0 {
+		return Plan{}, fmt.Errorf("fault: empty plan %q", spec)
+	}
+	return p, nil
+}
+
+// MustParsePlan is ParsePlan panicking on error (for tests and fixed specs).
+func MustParsePlan(spec string) Plan {
+	p, err := ParsePlan(spec)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func parseRule(rs string) (Rule, error) {
+	kind, rest, ok := strings.Cut(rs, ":")
+	if !ok {
+		return Rule{}, fmt.Errorf("fault: rule %q missing ':'", rs)
+	}
+	r := Rule{Kind: RuleKind(strings.TrimSpace(kind)), Node: -1}
+	kvs := map[string]string{}
+	var keys []string
+	for _, kv := range strings.Split(rest, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return Rule{}, fmt.Errorf("fault: rule %q: bad key=value %q", rs, kv)
+		}
+		kvs[k] = v
+		keys = append(keys, k)
+	}
+	take := func(k string) (string, bool) {
+		v, ok := kvs[k]
+		delete(kvs, k)
+		return v, ok
+	}
+	var err error
+	if v, ok := take("node"); ok {
+		r.Node, err = strconv.Atoi(v)
+		if err != nil || r.Node < 0 {
+			return Rule{}, fmt.Errorf("fault: rule %q: bad node %q", rs, v)
+		}
+	}
+	parseDurKey := func(k string, dst *sim.Time) error {
+		if v, ok := take(k); ok {
+			d, err := parseDur(v)
+			if err != nil {
+				return fmt.Errorf("fault: rule %q: bad %s: %v", rs, k, err)
+			}
+			*dst = d
+		}
+		return nil
+	}
+	switch r.Kind {
+	case KindSend, KindFetch, KindNotify:
+		v, ok := take("p")
+		if !ok {
+			return Rule{}, fmt.Errorf("fault: rule %q needs p=<probability>", rs)
+		}
+		r.P, err = strconv.ParseFloat(v, 64)
+		if err != nil || r.P < 0 || r.P > 1 {
+			return Rule{}, fmt.Errorf("fault: rule %q: probability %q outside [0,1]", rs, v)
+		}
+		if err := parseDurKey("from", &r.From); err != nil {
+			return Rule{}, err
+		}
+		if err := parseDurKey("to", &r.To); err != nil {
+			return Rule{}, err
+		}
+	case KindNICMem:
+		if r.Node < 0 {
+			return Rule{}, fmt.Errorf("fault: rule %q needs node=<n>", rs)
+		}
+		v, ok := take("reserve")
+		if !ok {
+			return Rule{}, fmt.Errorf("fault: rule %q needs reserve=<bytes>", rs)
+		}
+		r.Reserve, err = parseBytes(v)
+		if err != nil || r.Reserve <= 0 {
+			return Rule{}, fmt.Errorf("fault: rule %q: bad reserve %q", rs, v)
+		}
+		if err := parseDurKey("from", &r.From); err != nil {
+			return Rule{}, err
+		}
+		if err := parseDurKey("to", &r.To); err != nil {
+			return Rule{}, err
+		}
+	case KindDetach:
+		if r.Node <= 0 {
+			return Rule{}, fmt.Errorf("fault: rule %q: detach needs node>=1 (the master cannot leave)", rs)
+		}
+		if err := parseDurKey("at", &r.From); err != nil {
+			return Rule{}, err
+		}
+		if r.From <= 0 {
+			return Rule{}, fmt.Errorf("fault: rule %q needs at=<instant>", rs)
+		}
+	case KindAttach:
+		if r.Node < 0 {
+			return Rule{}, fmt.Errorf("fault: rule %q needs node=<n>", rs)
+		}
+		if err := parseDurKey("delay", &r.Delay); err != nil {
+			return Rule{}, err
+		}
+		if r.Delay <= 0 {
+			return Rule{}, fmt.Errorf("fault: rule %q needs delay=<duration>", rs)
+		}
+	default:
+		return Rule{}, fmt.Errorf("fault: unknown rule kind %q", kind)
+	}
+	if len(kvs) > 0 {
+		var left []string
+		for k := range kvs {
+			left = append(left, k)
+		}
+		sort.Strings(left)
+		return Rule{}, fmt.Errorf("fault: rule %q: unknown keys %v", rs, left)
+	}
+	if r.To > 0 && r.To <= r.From {
+		return Rule{}, fmt.Errorf("fault: rule %q: empty window (to <= from)", rs)
+	}
+	_ = keys
+	return r, nil
+}
+
+// parseDur parses "250us", "5ms", "2s", "800ns" (bare numbers = nanoseconds).
+func parseDur(s string) (sim.Time, error) {
+	unit := sim.Time(1)
+	num := s
+	switch {
+	case strings.HasSuffix(s, "ns"):
+		num = s[:len(s)-2]
+	case strings.HasSuffix(s, "us"):
+		unit, num = sim.Microsecond, s[:len(s)-2]
+	case strings.HasSuffix(s, "ms"):
+		unit, num = sim.Millisecond, s[:len(s)-2]
+	case strings.HasSuffix(s, "s"):
+		unit, num = sim.Second, s[:len(s)-1]
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	return sim.Time(v * float64(unit)), nil
+}
+
+func formatDur(d sim.Time) string {
+	switch {
+	case d >= sim.Second && d%sim.Second == 0:
+		return fmt.Sprintf("%ds", d/sim.Second)
+	case d >= sim.Millisecond && d%sim.Millisecond == 0:
+		return fmt.Sprintf("%dms", d/sim.Millisecond)
+	case d >= sim.Microsecond && d%sim.Microsecond == 0:
+		return fmt.Sprintf("%dus", d/sim.Microsecond)
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// parseBytes parses "64", "16K", "64M", "1G".
+func parseBytes(s string) (int64, error) {
+	shift := 0
+	num := s
+	switch {
+	case strings.HasSuffix(s, "K"):
+		shift, num = 10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"):
+		shift, num = 20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"):
+		shift, num = 30, s[:len(s)-1]
+	}
+	v, err := strconv.ParseInt(num, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad byte size %q", s)
+	}
+	return v << shift, nil
+}
+
+func formatBytes(b int64) string {
+	switch {
+	case b >= 1<<30 && b%(1<<30) == 0:
+		return fmt.Sprintf("%dG", b>>30)
+	case b >= 1<<20 && b%(1<<20) == 0:
+		return fmt.Sprintf("%dM", b>>20)
+	case b >= 1<<10 && b%(1<<10) == 0:
+		return fmt.Sprintf("%dK", b>>10)
+	default:
+		return strconv.FormatInt(b, 10)
+	}
+}

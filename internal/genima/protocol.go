@@ -11,6 +11,14 @@
 // log; at an acquire a node invalidates every non-home page named by
 // intervals it has not yet seen (a conservative variant of lazy release
 // consistency — safe, never weaker; see DESIGN.md §5/§7).
+//
+// When a fault plan detaches a node mid-run (see internal/fault), the
+// protocol degrades gracefully instead of failing: pages homed on the dead
+// node are adopted by the next node that faults on them, lock state last
+// held there is pulled over at the next acquire, and barrier arrival
+// counters managed there re-home to the master at the next wait.  Re-homing
+// charges virtual time and bumps the EvLockRehomes/EvBarrierRehomes/
+// EvPageRehomes counters; data is never lost.
 package genima
 
 import (
@@ -190,31 +198,65 @@ func (p *Protocol) validate(t *sim.Task, pid memsys.PageID) *memsys.PageCopy {
 	// side of that lock).  No cycle is possible: a path only ever pairs
 	// node N's flush lock with page copies on N or with the unique home
 	// copy of a page homed elsewhere.
-	p.acc.FlushBegin(home)
-	hc := p.sp.Copy(home, pid)
-	hc.Mu.Lock()
-	if !hc.Valid() {
-		hc.EnsureData()
-		hc.SetValid(true)
+	for {
+		p.acc.FlushBegin(home)
+		hc := p.sp.Copy(home, pid)
+		hc.Mu.Lock()
+		if h := p.sp.Home(pid); h != home {
+			// The page re-homed (a dead-node adoption by another faulter)
+			// while this thread was taking the old home's locks: chase the
+			// new home.
+			hc.Mu.Unlock()
+			p.acc.FlushEnd(home)
+			home = h
+			if home == t.NodeID {
+				// Re-homed onto this very node by a sibling thread.
+				pc.EnsureData()
+				pc.SetValid(true)
+				return pc
+			}
+			continue
+		}
+		// A home a fault plan has detached cannot serve faults any longer:
+		// the faulting node adopts the page — the fetched image becomes the
+		// primary copy, and a synthetic write notice makes every peer drop
+		// its stale copy at its next acquire.
+		dead := p.cl.Fault.Detached(home, t.Now())
+		if !hc.Valid() {
+			hc.EnsureData()
+			hc.SetValid(true)
+		}
+		// Fetch into the copy's own (pool-backed) array.  If the copy was
+		// invalidated, the acquire path already retired its old array under
+		// the node's exclusive flush lock — readers hold the shared side
+		// across the byte access, so none can still be looking at recycled
+		// storage, and the refetch reuses a pooled buffer instead of
+		// allocating a fresh one.
+		copy(pc.EnsureData(), hc.Data())
+		if dead {
+			hc.SetValid(false)
+			p.sp.SetHome(pid, t.NodeID)
+		}
+		hc.Mu.Unlock()
+		p.acc.FlushEnd(home)
+		p.cl.VMMC.Fetch(t, home, memsys.PageSize)
+		if dead {
+			// Adopting the page remaps it into this node's home region.
+			t.Charge(sim.CatLocalOS, costs.OSMapSegment)
+			ctr.Add(t.NodeID, stats.EvPageRehomes, 1)
+			p.cl.Fault.NoteRehome(t.NodeID, t.Now(), uint64(pid))
+			p.PublishInvalidate(t.NodeID, pid)
+		}
+		ctr.Add(t.NodeID, stats.EvRemotePageFaults, 1)
+		if p.OnRemoteFault != nil {
+			p.OnRemoteFault(t.NodeID, pid)
+		}
+		if p.Trace != nil {
+			p.Trace.Add(t.Now(), t.NodeID, trace.KindRemoteFill, uint64(pid))
+		}
+		pc.SetValid(true)
+		return pc
 	}
-	// Fetch into the copy's own (pool-backed) array.  If the copy was
-	// invalidated, the acquire path already retired its old array under the
-	// node's exclusive flush lock — readers hold the shared side across the
-	// byte access, so none can still be looking at recycled storage, and the
-	// refetch reuses a pooled buffer instead of allocating a fresh one.
-	copy(pc.EnsureData(), hc.Data())
-	hc.Mu.Unlock()
-	p.acc.FlushEnd(home)
-	p.cl.VMMC.Fetch(t, home, memsys.PageSize)
-	ctr.Add(t.NodeID, stats.EvRemotePageFaults, 1)
-	if p.OnRemoteFault != nil {
-		p.OnRemoteFault(t.NodeID, pid)
-	}
-	if p.Trace != nil {
-		p.Trace.Add(t.Now(), t.NodeID, trace.KindRemoteFill, uint64(pid))
-	}
-	pc.SetValid(true)
-	return pc
 }
 
 // ReadFault implements memsys.FaultHandler.

@@ -45,6 +45,18 @@ func (p *Protocol) NewLock(id int) *SysLock {
 // chargeAcquire applies the Table 4 acquisition cost model for t.
 func (l *SysLock) chargeAcquire(t *sim.Task) {
 	c := l.p.cl.Costs
+	if inj := l.p.cl.Fault; l.lastNode >= 0 && l.lastNode != t.NodeID &&
+		inj.Detached(l.lastNode, t.Now()) {
+		// The manager copy of the lock state lives on a node that has left
+		// the application: pull it to this node before acquiring (one bulk
+		// state transfer plus the remote-acquire base cost), then treat the
+		// acquisition as a fresh local one.
+		t.Charge(sim.CatComm, c.SendTime(64))
+		t.Charge(sim.CatLocal, c.MutexRemoteBase)
+		l.lastNode = -1
+		l.p.cl.Ctr.Add(t.NodeID, stats.EvLockRehomes, 1)
+		inj.NoteRehome(t.NodeID, t.Now(), uint64(l.id))
+	}
 	first := !l.nodeSeen[t.NodeID]
 	l.nodeSeen[t.NodeID] = true
 	local := l.lastNode == t.NodeID || l.lastNode == -1
@@ -151,20 +163,27 @@ type Barrier struct {
 
 	mu      sync.Mutex
 	cond    *sync.Cond
+	mgr     int // node managing the barrier's arrival counter
 	gen     int
 	count   int
 	arrived sim.Time // max arrival virtual time this generation
 	release sim.Time // release instant of the previous generation
 }
 
-// NewBarrier creates (or returns) the named barrier.
+// NewBarrier creates (or returns) the named barrier.  The arrival counter
+// is managed on a node picked by hashing the name, spreading barrier
+// traffic across the cluster.
 func (p *Protocol) NewBarrier(name string) *Barrier {
 	p.barMu.Lock()
 	defer p.barMu.Unlock()
 	if b, ok := p.bars[name]; ok {
 		return b
 	}
-	b := &Barrier{p: p, name: name}
+	h := uint64(14695981039346656037)
+	for _, c := range []byte(name) {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	b := &Barrier{p: p, name: name, mgr: int(h % uint64(p.cl.NumNodes()))}
 	b.cond = sync.NewCond(&b.mu)
 	p.bars[name] = b
 	return b
@@ -183,6 +202,15 @@ func (b *Barrier) Wait(t *sim.Task, parties int) {
 	t.Charge(sim.CatComm, c.BarrierNativeComm)
 
 	b.mu.Lock()
+	if inj := b.p.cl.Fault; b.mgr != 0 && inj.Detached(b.mgr, t.Now()) {
+		// The barrier's arrival counter is managed on a node that has left:
+		// the observing party re-homes the counter state to the master (one
+		// bulk state transfer) before arriving.
+		t.Charge(sim.CatComm, c.SendTime(64))
+		b.mgr = 0
+		b.p.cl.Ctr.Add(t.NodeID, stats.EvBarrierRehomes, 1)
+		inj.NoteRehome(t.NodeID, t.Now(), uint64(len(b.name)))
+	}
 	gen := b.gen
 	if now := t.Now(); now > b.arrived {
 		b.arrived = now

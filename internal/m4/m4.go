@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"cables/internal/apps/appapi"
+	"cables/internal/fault"
 	"cables/internal/genima"
 	"cables/internal/memsys"
 	"cables/internal/nodeos"
@@ -42,6 +43,8 @@ type Config struct {
 	ArenaBytes int64
 	// Costs optionally overrides the cost table.
 	Costs *sim.Costs
+	// Fault optionally injects deterministic faults (see internal/fault).
+	Fault *fault.Injector
 }
 
 // New builds a base-system runtime.  All nodes required for Procs are
@@ -61,6 +64,7 @@ func New(cfg Config) *Runtime {
 		NumNodes:     nodes,
 		ProcsPerNode: cfg.ProcsPerNode,
 		Costs:        cfg.Costs,
+		Fault:        cfg.Fault,
 	})
 	rt := &Runtime{
 		cl:    cl,

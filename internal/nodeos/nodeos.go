@@ -4,12 +4,18 @@
 // processors, OS service costs (thread/process creation, virtual-memory
 // remapping), and the OS virtual-memory mapping granularity that drives the
 // paper's data-placement results.
+//
+// NewCluster also wires an optional fault injector (Config.Fault, see
+// internal/fault) into the layers it assembles — the SAN fabric, the VMMC
+// system and the shared counters — so one injector governs every fault site
+// of a simulation.
 package nodeos
 
 import (
 	"fmt"
 	"sync/atomic"
 
+	"cables/internal/fault"
 	"cables/internal/san"
 	"cables/internal/sim"
 	"cables/internal/stats"
@@ -76,6 +82,8 @@ type Cluster struct {
 	Ctr    *stats.Counters
 	Fabric *san.Fabric
 	VMMC   *vmmc.System
+	// Fault is the installed fault injector (nil when faults are disabled).
+	Fault *fault.Injector
 
 	taskSeq atomic.Int64
 }
@@ -90,6 +98,9 @@ type Config struct {
 	Costs *sim.Costs
 	// Limits are the NIC registration limits; zero selects DefaultLimits.
 	Limits vmmc.Limits
+	// Fault optionally injects deterministic faults (see internal/fault);
+	// nil keeps the happy path bit-identical.
+	Fault *fault.Injector
 }
 
 // NewCluster builds a cluster.
@@ -116,6 +127,12 @@ func NewCluster(cfg Config) *Cluster {
 		Ctr:    ctr,
 		Fabric: fab,
 		VMMC:   vmmc.NewSystem(fab, limits),
+		Fault:  cfg.Fault,
+	}
+	if cfg.Fault != nil {
+		cfg.Fault.BindCounters(ctr)
+		fab.SetFault(cfg.Fault)
+		cl.VMMC.SetFault(cfg.Fault)
 	}
 	for i := range cl.Nodes {
 		cl.Nodes[i] = &Node{ID: i, Processors: cfg.ProcsPerNode, costs: costs}

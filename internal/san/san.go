@@ -2,12 +2,19 @@
 // point-to-point message latencies, per-NIC occupancy (bandwidth and
 // contention), and traffic accounting.  It knows nothing about registration
 // or protocols; package vmmc layers those on top.
+//
+// An optional fault injector (SetFault, see internal/fault) makes sends and
+// fetches suffer deterministic transient failures: each failed attempt costs
+// the sender a full transfer timeout plus exponential backoff before the
+// retry, bounded by fault.MaxSendRetries — faults stretch virtual time but
+// never lose data.
 package san
 
 import (
 	"fmt"
 	"sync/atomic"
 
+	"cables/internal/fault"
 	"cables/internal/sim"
 	"cables/internal/stats"
 )
@@ -16,6 +23,7 @@ import (
 type Fabric struct {
 	costs *sim.Costs
 	ctr   *stats.Counters
+	inj   *fault.Injector // nil = no fault injection
 	ports []port
 }
 
@@ -33,6 +41,12 @@ func New(nodes int, costs *sim.Costs, ctr *stats.Counters) *Fabric {
 	}
 	return &Fabric{costs: costs, ctr: ctr, ports: make([]port, nodes)}
 }
+
+// SetFault installs a fault injector; sends and fetches then suffer the
+// plan's transient failures (each failed attempt costs a full transfer
+// timeout plus exponential backoff before the retry).  nil disables
+// injection.
+func (f *Fabric) SetFault(inj *fault.Injector) { f.inj = inj }
 
 // Nodes returns the number of nodes on the fabric.
 func (f *Fabric) Nodes() int { return len(f.ports) }
@@ -62,8 +76,15 @@ func (f *Fabric) reserve(src int, now, occ sim.Time) sim.Time {
 func (f *Fabric) Send(t *sim.Task, src, dst, size int) sim.Time {
 	f.checkNodes(src, dst)
 	now := t.Now()
+	// Each transiently failed attempt costs a full transfer timeout plus
+	// backoff before the wire is tried again; past MaxSendRetries the
+	// transfer goes through regardless (faults delay, they never lose data).
+	var penalty sim.Time
+	for a := 0; a < fault.MaxSendRetries && f.inj.FailSend(src, dst, a, now); a++ {
+		penalty += f.costs.SendTime(size) + fault.Backoff(a)
+	}
 	start := f.reserve(src, now, f.costs.Occupancy(size))
-	d := (start - now) + f.costs.SendTime(size)
+	d := (start - now) + penalty + f.costs.SendTime(size)
 	f.ctr.Add(src, stats.EvMessagesSent, 1)
 	f.ctr.Add(src, stats.EvBytesSent, int64(size))
 	return d
@@ -76,8 +97,12 @@ func (f *Fabric) Send(t *sim.Task, src, dst, size int) sim.Time {
 func (f *Fabric) Fetch(t *sim.Task, src, dst, size int) sim.Time {
 	f.checkNodes(src, dst)
 	now := t.Now()
+	var penalty sim.Time
+	for a := 0; a < fault.MaxSendRetries && f.inj.FailFetch(src, dst, a, now); a++ {
+		penalty += f.costs.FetchTime(size) + fault.Backoff(a)
+	}
 	start := f.reserve(src, now, f.costs.Occupancy(size))
-	d := (start - now) + f.costs.FetchTime(size)
+	d := (start - now) + penalty + f.costs.FetchTime(size)
 	f.ctr.Add(src, stats.EvFetches, 1)
 	f.ctr.Add(src, stats.EvBytesFetched, int64(size))
 	return d

@@ -1,8 +1,13 @@
 // Package stats collects event counters and formats the experiment tables.
 // Counters are sharded per cluster node so that every layer (VMMC, protocol,
-// CableS) can bump them from concurrently running simulated threads without
-// ping-ponging a shared cache line across host cores; totals are aggregated
-// at read time.
+// CableS, fault injection) can bump them from concurrently running simulated
+// threads without ping-ponging a shared cache line across host cores; totals
+// are aggregated at read time.
+//
+// Call sites name a node and a typed Event; Event.String is the stable
+// Snapshot key (docs/OBSERVABILITY.md lists every event and which layer
+// emits it).  New events are appended to the enum so earlier events keep
+// their numeric identities across versions.
 package stats
 
 import (
@@ -48,6 +53,19 @@ const (
 	EvAdminRequests
 	EvSharedAllocated // bytes of global shared memory allocated
 
+	// Fault injection and recovery (internal/fault).  Appended after the
+	// original enum so earlier events keep their numeric identities.
+	EvFaultsInjected // total fault firings of any class
+	EvSendRetries    // sends retried after a transient NIC failure
+	EvFetchRetries   // remote reads retried after a transient failure
+	EvNotifyLost     // notifications lost in flight and re-sent
+	EvRegRecoveries  // NIC region deregister/re-register recovery cycles
+	EvLockRehomes    // locks re-homed away from a detached node
+	EvBarrierRehomes // barriers re-homed away from a detached node
+	EvPageRehomes    // pages re-homed away from a detached node
+	EvNodeDetaches   // nodes detached mid-run by a fault plan
+	EvAttachDelays   // node attaches delayed by a fault plan
+
 	numEvents
 )
 
@@ -62,6 +80,9 @@ var eventKeys = [NumEvents]string{
 	"lockAcquires", "remoteLocks", "barriers", "condWaits", "condSignals",
 	"threadsCreated", "nodesAttached", "segMigrations", "ownerDetects",
 	"adminRequests", "sharedBytes",
+	"faultsInjected", "sendRetries", "fetchRetries", "notifyLost",
+	"regRecoveries", "lockRehomes", "barrierRehomes", "pageRehomes",
+	"nodeDetaches", "attachDelays",
 }
 
 // String returns the Snapshot key of the event.
@@ -76,10 +97,13 @@ func (e Event) String() string {
 const cacheLine = 64
 
 // lane is one node's private block of event counters, padded so two nodes'
-// lanes never share a cache line.
+// lanes never share a cache line.  The pad leads the struct: when the
+// counters already fill whole cache lines the pad is zero-sized, and a
+// trailing zero-size field would force the compiler to append alignment
+// padding anyway.
 type lane struct {
-	v [NumEvents]atomic.Int64
 	_ [(cacheLine - (NumEvents*8)%cacheLine) % cacheLine]byte
+	v [NumEvents]atomic.Int64
 }
 
 // Counters aggregates system-wide event counts for one application run.

@@ -1,7 +1,15 @@
 // Package trace provides a bounded in-memory event trace for the SVM
-// protocol: page faults, diffs, invalidations and synchronization events
-// with virtual timestamps.  It exists for debugging protocol behavior and
-// for inspecting experiment runs (`cablesim counters -trace`).
+// protocol and the fault-injection layer: page faults, diffs,
+// invalidations, synchronization events, injected faults and recovery
+// actions, all with virtual timestamps.  It exists for debugging protocol
+// behavior and for inspecting experiment runs (`cablesim counters -trace`,
+// `cablesim faults`).
+//
+// The Ring is a fixed-capacity overwrite buffer: Dropped reports how many
+// events were overwritten so a truncated trace is never mistaken for a
+// complete one, and Checksum folds the retained events into an
+// order-insensitive hash used by the fault-determinism tests (docs/
+// OBSERVABILITY.md documents the event kinds and tooling).
 package trace
 
 import (
@@ -24,6 +32,14 @@ const (
 	KindBarrier    Kind = "barrier"    // barrier departure
 	KindLock       Kind = "lock"       // lock acquired
 	KindMigrate    Kind = "migrate"    // home moved
+)
+
+// Event kinds emitted by the fault-injection layer (internal/fault).
+const (
+	KindInject Kind = "inject" // a fault fired (send/fetch/notify/attach)
+	KindDetach Kind = "detach" // a node left the application
+	KindRehome Kind = "rehome" // lock/barrier/page re-homed off a dead node
+	KindRereg  Kind = "rereg"  // NIC region deregister/re-register recovery
 )
 
 // Event is one protocol occurrence.
@@ -92,6 +108,25 @@ func (r *Ring) Dropped() int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.dropped
+}
+
+// Checksum folds the retained events into a single order-insensitive hash:
+// each event is hashed independently (SplitMix64 over its fields) and the
+// hashes are summed, so two rings holding the same multiset of events match
+// even when concurrent nodes interleaved their appends differently.
+func (r *Ring) Checksum() uint64 {
+	var sum uint64
+	for _, e := range r.Events() {
+		x := uint64(e.At) ^ uint64(e.Node)<<48 ^ e.Arg*0xC2B2AE3D27D4EB4F
+		for _, c := range []byte(e.Kind) {
+			x = (x ^ uint64(c)) * 0x100000001B3
+		}
+		x += 0x9E3779B97F4A7C15
+		x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+		x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+		sum += x ^ (x >> 31)
+	}
+	return sum
 }
 
 // Counts aggregates retained events per kind.

@@ -77,6 +77,42 @@ func TestRingConcurrent(t *testing.T) {
 	}
 }
 
+// TestChecksumOrderInsensitive pins the property fault-determinism tests
+// rely on: two rings holding the same multiset of events produce the same
+// checksum even when concurrent appends interleaved differently.
+func TestChecksumOrderInsensitive(t *testing.T) {
+	evs := []Event{
+		{At: 10, Node: 0, Kind: KindFault, Arg: 3},
+		{At: 20, Node: 1, Kind: KindDiff, Arg: 7},
+		{At: 30, Node: 2, Kind: KindInject, Arg: 1},
+		{At: 30, Node: 2, Kind: KindInject, Arg: 1}, // duplicate must count twice
+	}
+	a, b := NewRing(8), NewRing(8)
+	for _, e := range evs {
+		a.Add(e.At, e.Node, e.Kind, e.Arg)
+	}
+	for i := len(evs) - 1; i >= 0; i-- {
+		b.Add(evs[i].At, evs[i].Node, evs[i].Kind, evs[i].Arg)
+	}
+	if a.Checksum() != b.Checksum() {
+		t.Error("checksum depends on append order")
+	}
+	if a.Checksum() == 0 {
+		t.Error("non-empty ring checksums to zero")
+	}
+	// Dropping the duplicate must change the sum (multiset, not set).
+	c := NewRing(8)
+	for _, e := range evs[:3] {
+		c.Add(e.At, e.Node, e.Kind, e.Arg)
+	}
+	if c.Checksum() == a.Checksum() {
+		t.Error("checksum ignores event multiplicity")
+	}
+	if NewRing(4).Checksum() != 0 {
+		t.Error("empty ring should checksum to zero")
+	}
+}
+
 func TestZeroCapacityDefaults(t *testing.T) {
 	r := NewRing(0)
 	r.Add(1, 0, KindMigrate, 1)

@@ -5,6 +5,13 @@
 // registered bytes, total pinned bytes).  GeNIMA and CableS differ in how
 // many NIC resources they consume; those differences produce the paper's
 // Table 1/2 results and the OCEAN-at-32-processors registration failure.
+//
+// Under a fault plan (SetFault, see internal/fault) notifications can be
+// lost in flight (the sender times out and re-sends with backoff) and a
+// nicmem rule applies registration-memory pressure to time-aware calls
+// (RegisterAt/GrowAt): the effective registered-byte limit shrinks for the
+// rule's window, surfacing mid-run exhaustion that GrowRecover rides out
+// with deregister/re-register recovery cycles.
 package vmmc
 
 import (
@@ -12,6 +19,7 @@ import (
 	"fmt"
 	"sync"
 
+	"cables/internal/fault"
 	"cables/internal/san"
 	"cables/internal/stats"
 	"cables/internal/sim"
@@ -66,6 +74,7 @@ type Region struct {
 type NIC struct {
 	node   int
 	limits Limits
+	inj    *fault.Injector // nil = no registration-memory pressure
 
 	mu       sync.Mutex
 	regions  map[RegionID]*Region
@@ -74,10 +83,33 @@ type NIC struct {
 	pinBytes int64
 }
 
+// effRegLimit returns the registered-byte limit visible at virtual instant
+// now: the hardware limit minus any registration-memory pressure a fault
+// plan applies to this node during that window.
+func (n *NIC) effRegLimit(now sim.Time) int64 {
+	lim := n.limits.MaxRegisteredBytes
+	if n.inj != nil {
+		lim -= n.inj.RegReserve(n.node, now)
+	}
+	return lim
+}
+
+// noPressure is the RegisterAt/GrowAt instant meaning "ignore any fault
+// plan's registration-memory pressure" (virtual time is never negative).
+const noPressure = sim.Time(-1)
+
 // Register enters a region of the given size into the NIC's tables.  Static
 // registrations (dynamic=false) consume the limited resources and may fail;
 // dynamic registrations always succeed but are tracked for reporting.
+// Registration pressure from fault plans is not applied (use RegisterAt).
 func (n *NIC) Register(label string, bytes int64, pinned, dynamic bool) (RegionID, error) {
+	return n.RegisterAt(label, bytes, pinned, dynamic, noPressure)
+}
+
+// RegisterAt is Register evaluated at virtual instant now, so a fault
+// plan's NIC registration-memory pressure active in that window shrinks the
+// effective registered-byte limit.
+func (n *NIC) RegisterAt(label string, bytes int64, pinned, dynamic bool, now sim.Time) (RegionID, error) {
 	if bytes < 0 {
 		return 0, fmt.Errorf("vmmc: negative region size %d", bytes)
 	}
@@ -94,10 +126,9 @@ func (n *NIC) Register(label string, bytes int64, pinned, dynamic bool) (RegionI
 			return 0, fmt.Errorf("node %d registering %q (%d regions in use): %w",
 				n.node, label, staticCount, ErrRegionLimit)
 		}
-		if n.regBytes+bytes > n.limits.MaxRegisteredBytes {
+		if lim := n.effRegLimit(now); n.regBytes+bytes > lim {
 			return 0, fmt.Errorf("node %d registering %q (%d+%d > %d bytes): %w",
-				n.node, label, n.regBytes, bytes, n.limits.MaxRegisteredBytes,
-				ErrRegisteredLimit)
+				n.node, label, n.regBytes, bytes, lim, ErrRegisteredLimit)
 		}
 		if pinned && n.pinBytes+bytes > n.limits.MaxPinnedBytes {
 			return 0, fmt.Errorf("node %d pinning %q (%d+%d > %d bytes): %w",
@@ -118,6 +149,13 @@ func (n *NIC) Register(label string, bytes int64, pinned, dynamic bool) (RegionI
 // Grow extends an existing static region in place (used by CableS when the
 // contiguous home-pages section is extended on first touch).
 func (n *NIC) Grow(id RegionID, extra int64) error {
+	return n.GrowAt(id, extra, noPressure)
+}
+
+// GrowAt is Grow evaluated at virtual instant now; fault-plan registration
+// pressure active at that instant shrinks the effective limit, which is how
+// NIC memory exhaustion surfaces mid-run (recover with System.GrowRecover).
+func (n *NIC) GrowAt(id RegionID, extra int64, now sim.Time) error {
 	if extra < 0 {
 		return fmt.Errorf("vmmc: negative grow %d", extra)
 	}
@@ -128,7 +166,7 @@ func (n *NIC) Grow(id RegionID, extra int64) error {
 		return fmt.Errorf("vmmc: grow of unknown region %d on node %d", id, n.node)
 	}
 	if !r.Dynamic {
-		if n.regBytes+extra > n.limits.MaxRegisteredBytes {
+		if lim := n.effRegLimit(now); n.regBytes+extra > lim {
 			return fmt.Errorf("node %d growing %q: %w", n.node, r.Label, ErrRegisteredLimit)
 		}
 		if r.Pinned && n.pinBytes+extra > n.limits.MaxPinnedBytes {
@@ -176,6 +214,17 @@ func (n *NIC) Usage() (regions int, registered, pinned int64) {
 type System struct {
 	fab  *san.Fabric
 	nics []*NIC
+	inj  *fault.Injector // nil = no fault injection
+}
+
+// SetFault installs a fault injector on the system and all its NICs:
+// notifications may be lost (and re-sent), and NIC registration-memory
+// pressure applies to time-aware registration calls.  nil disables both.
+func (s *System) SetFault(inj *fault.Injector) {
+	s.inj = inj
+	for _, n := range s.nics {
+		n.inj = inj
+	}
 }
 
 // NewSystem builds a VMMC system over the fabric with uniform NIC limits.
@@ -232,13 +281,48 @@ func (s *System) StreamWrite(t *sim.Task, dst, size int) {
 }
 
 // Notify charges t for a send carrying size bytes to dst plus the
-// receiver-side notification dispatch.
+// receiver-side notification dispatch.  Under a fault plan, a notification
+// lost in flight costs the sender a full delivery timeout plus backoff
+// before the re-send; delivery is guaranteed within MaxSendRetries.
 func (s *System) Notify(t *sim.Task, dst, size int) {
 	c := s.fab.Costs()
 	if dst == t.NodeID {
 		t.Charge(sim.CatLocal, localCopyCost(size)+c.Notification/4)
 	} else {
-		t.Charge(sim.CatComm, s.fab.Send(t, t.NodeID, dst, size)+c.Notification)
+		now := t.Now()
+		var penalty sim.Time
+		for a := 0; a < fault.MaxSendRetries && s.inj.LoseNotify(t.NodeID, dst, a, now); a++ {
+			penalty += c.SendTime(size) + c.Notification + fault.Backoff(a)
+		}
+		t.Charge(sim.CatComm, s.fab.Send(t, t.NodeID, dst, size)+c.Notification+penalty)
 	}
 	s.fab.Counters().Add(t.NodeID, stats.EvNotifications, 1)
+}
+
+// GrowRecover grows region id on node's NIC on behalf of thread t, riding
+// out transient NIC registration-memory exhaustion (a fault plan's nicmem
+// pressure): each recovery attempt backs off exponentially, then models a
+// deregister/re-register cycle — two OS mapping operations — before
+// retrying the grow.  The region keeps its identity across the cycle.
+// After MaxRegRetries the exhaustion error is returned and the caller falls
+// back (CableS homes the pages on the master instead).
+func (s *System) GrowRecover(t *sim.Task, node int, id RegionID, extra int64) error {
+	n := s.nics[node]
+	err := n.GrowAt(id, extra, t.Now())
+	if err == nil || !errors.Is(err, ErrRegisteredLimit) || s.inj == nil {
+		return err
+	}
+	c := s.fab.Costs()
+	for attempt := 0; attempt < fault.MaxRegRetries; attempt++ {
+		t.Charge(sim.CatWait, fault.Backoff(attempt))
+		t.Charge(sim.CatLocalOS, 2*c.OSMapSegment)
+		if err = n.GrowAt(id, extra, t.Now()); err == nil {
+			s.inj.NoteRegRecovery(node, t.Now(), uint64(id))
+			return nil
+		}
+		if !errors.Is(err, ErrRegisteredLimit) {
+			return err
+		}
+	}
+	return err
 }
