@@ -24,8 +24,8 @@ test:
 
 race:
 	$(GO) test -race ./internal/genima/... ./internal/memsys/... ./internal/core/... \
-		./internal/san/... ./internal/vmmc/... ./internal/nodeos/...
-	$(GO) test -race -run TestFig5RaceSmoke ./internal/bench/
+		./internal/san/... ./internal/vmmc/... ./internal/nodeos/... ./internal/wire/...
+	$(GO) test -race -run 'TestFig5RaceSmoke|TestFig5ContendedSyncRaceSmoke' ./internal/bench/
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./internal/bench/hostperf/

@@ -32,6 +32,11 @@
 // -plan is a fault plan (see internal/fault: e.g.
 // "send:p=0.05;detach:node=1,at=5ms"); -seed picks the deterministic
 // injection stream — the same plan and seed reproduce the same faults.
+// -contended-sync and -coalesce select opt-in wire-plane modes for
+// fig5/fig6/fig5+6/counters: the first makes synchronization messages
+// reserve NIC occupancy (sync traffic queues behind data traffic), the
+// second applies GeNIMA's release protocol-opt of one coalesced remote
+// write per home node.  Both default off, reproducing the paper exactly.
 package main
 
 import (
@@ -47,6 +52,7 @@ import (
 	"cables/internal/fault"
 	"cables/internal/sim"
 	"cables/internal/trace"
+	"cables/internal/wire"
 )
 
 func main() {
@@ -67,6 +73,10 @@ func main() {
 	traceOn := fs.Bool("trace", false, "counters: attach a protocol trace ring and print its census, tail and drop count")
 	planSpec := fs.String("plan", "", `faults: fault plan, e.g. "send:p=0.05;detach:node=1,at=5ms"`)
 	seed := fs.Uint64("seed", 1, "faults: deterministic injection seed")
+	contended := fs.Bool("contended-sync", false,
+		"wire plane: synchronization messages reserve NIC occupancy (fig5/fig6/counters)")
+	coalesce := fs.Bool("coalesce", false,
+		"wire plane: GeNIMA release coalesces diffs into one remote write per home (fig5/fig6/counters)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -83,6 +93,7 @@ func main() {
 	}
 	appList := splitList(*apps)
 	procList := parseInts(*procs)
+	wopts := wire.Options{ContendedSync: *contended, Coalesce: *coalesce}
 
 	w := os.Stdout
 	switch cmd {
@@ -95,13 +106,13 @@ func main() {
 	case "table6":
 		bench.Table6(w, sc, *jobs)
 	case "fig5":
-		data := bench.RunFig5(appList, procList, sc, costs, *jobs)
+		data := bench.RunFig5Wire(appList, procList, sc, costs, *jobs, wopts)
 		bench.Fig5(w, data, procList)
 	case "fig6":
-		data := bench.RunFig5(appList, procList, sc, costs, *jobs)
+		data := bench.RunFig5Wire(appList, procList, sc, costs, *jobs, wopts)
 		bench.Fig6(w, data, procList)
 	case "fig5+6":
-		data := bench.RunFig5(appList, procList, sc, costs, *jobs)
+		data := bench.RunFig5Wire(appList, procList, sc, costs, *jobs, wopts)
 		bench.Fig5(w, data, procList)
 		bench.Fig6(w, data, procList)
 	case "limits":
@@ -119,7 +130,7 @@ func main() {
 			}
 		}
 	case "counters":
-		runCounters(w, appList, procList, sc, costs, *jobs, *traceOn)
+		runCounters(w, appList, procList, sc, costs, *jobs, *traceOn, wopts)
 	case "faults":
 		if *planSpec == "" {
 			fmt.Fprintln(os.Stderr, "cablesim: faults needs -plan (see internal/fault for the spec language)")
@@ -154,7 +165,7 @@ func main() {
 // and dropped-event count are appended to the block (the ring is bounded:
 // a non-zero dropped count means the census covers only the retained
 // suffix).
-func runCounters(w *os.File, apps []string, procs []int, sc bench.Scale, costs *sim.Costs, jobs int, traceOn bool) {
+func runCounters(w *os.File, apps []string, procs []int, sc bench.Scale, costs *sim.Costs, jobs int, traceOn bool, wopts wire.Options) {
 	if len(apps) == 0 {
 		apps = bench.AppNames
 	}
@@ -178,7 +189,7 @@ func runCounters(w *os.File, apps []string, procs []int, sc bench.Scale, costs *
 	errs := bench.RunCells(jobs, len(specs), func(i int) {
 		s := specs[i]
 		if traceOn {
-			res, ctr, ring, err := bench.RunAppTraced(s.app, s.backend, s.procs, sc, costs, 4096)
+			res, ctr, ring, err := bench.RunAppTracedWire(s.app, s.backend, s.procs, sc, costs, 4096, wopts)
 			if err != nil {
 				blocks[i] = fmt.Sprintf("%s/%s p=%d: FAILED: %v\n", s.app, s.backend, s.procs, err)
 				return
@@ -186,7 +197,7 @@ func runCounters(w *os.File, apps []string, procs []int, sc bench.Scale, costs *
 			blocks[i] = fmt.Sprintf("%s\n  %s\n%s", res, ctr, traceBlock(ring))
 			return
 		}
-		res, ctr, err := bench.RunAppCounters(s.app, s.backend, s.procs, sc, costs)
+		res, ctr, err := bench.RunAppCountersWire(s.app, s.backend, s.procs, sc, costs, wopts)
 		if err != nil {
 			blocks[i] = fmt.Sprintf("%s/%s p=%d: FAILED: %v\n", s.app, s.backend, s.procs, err)
 			return
@@ -254,5 +265,6 @@ func parseInts(s string) []int {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: cablesim <table3|counters|table4|table5|table6|fig5|fig6|fig5+6|limits|hostperf|faults|all> [flags]
 flags: -scale test|paper  -apps A,B  -procs 1,4,8  -gran bytes  -jobs N  -o report.json  -compare old.json
-       -trace (counters)  -plan "send:p=0.05;detach:node=1,at=5ms" -seed N (faults)`)
+       -trace (counters)  -plan "send:p=0.05;detach:node=1,at=5ms" -seed N (faults)
+       -contended-sync -coalesce (fig5/fig6/counters wire-plane modes)`)
 }

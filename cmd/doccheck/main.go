@@ -5,7 +5,10 @@
 //     comment, and non-main packages must start it with the canonical
 //     "Package <name> ..." form godoc expects;
 //   - every relative link in the markdown files must resolve to a file or
-//     directory that exists in the repository.
+//     directory that exists in the repository;
+//   - no non-test code outside the communication substrate (internal/wire,
+//     internal/vmmc) may charge CatComm directly — all cross-node traffic
+//     must flow through the wire plane's choke point.
 //
 // It walks the tree rooted at the optional -root flag (default ".") and
 // exits non-zero listing every violation, so CI can gate on it
@@ -43,6 +46,13 @@ func main() {
 		os.Exit(2)
 	}
 	problems = append(problems, linkProblems...)
+
+	commProblems, err := checkCommCharges(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		os.Exit(2)
+	}
+	problems = append(problems, commProblems...)
 
 	if len(problems) > 0 {
 		sort.Strings(problems)
@@ -119,6 +129,61 @@ func checkPackageDocs(root string) ([]string, error) {
 		}
 	}
 	return problems, nil
+}
+
+// commChargeAllowed lists the directories whose non-test code may charge
+// CatComm directly: the wire plane (the choke point itself) and vmmc (the
+// NIC model the plane delegates data transfers to).  Everything else must
+// route cross-node traffic through wire.Plane.Do.
+var commChargeAllowed = []string{
+	filepath.Join("internal", "wire"),
+	filepath.Join("internal", "vmmc"),
+}
+
+// commCharge matches a direct communication charge or attribution.
+var commCharge = regexp.MustCompile(`\.(Charge|Attribute)\(sim\.CatComm`)
+
+// checkCommCharges scans non-test Go sources for direct CatComm charges
+// outside the allowed substrate directories — the lint that keeps the wire
+// plane the single choke point for cross-node costs.
+func checkCommCharges(root string) ([]string, error) {
+	var problems []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		for _, dir := range commChargeAllowed {
+			if strings.HasPrefix(rel, dir+string(filepath.Separator)) {
+				return nil
+			}
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if commCharge.MatchString(line) {
+				problems = append(problems, fmt.Sprintf(
+					"%s:%d: direct CatComm charge outside internal/wire and internal/vmmc; route it through wire.Plane.Do",
+					path, i+1))
+			}
+		}
+		return nil
+	})
+	return problems, err
 }
 
 // mdLink matches the target of an inline markdown link: ](target).

@@ -12,6 +12,7 @@ import (
 	"cables/internal/sim"
 	"cables/internal/stats"
 	"cables/internal/trace"
+	"cables/internal/wire"
 )
 
 // NewFaultRuntime builds an application runtime with a fault injector
@@ -39,31 +40,45 @@ func protocolOf(rt appapi.Runtime) *genima.Protocol {
 	return nil
 }
 
-// RunAppTraced runs an application with a trace ring of the given capacity
-// attached to the protocol, returning the result, the event counters, and
-// the ring (inspect Events/Counts/Dropped).
-func RunAppTraced(name, backend string, procs int, scale Scale, costs *sim.Costs, ringCap int) (appapi.Result, *stats.Counters, *trace.Ring, error) {
-	rt := NewRuntime(backend, procs, 256<<20, costs)
+// AttachRing wires one trace ring everywhere events originate: the SVM
+// protocol (page-fault/lock/barrier events), the wire plane (wire.* op
+// events and page migrations), and the fault injector if present
+// (fault.* events).  This is the single attach point; callers never touch
+// the three sinks individually.
+func AttachRing(rt appapi.Runtime, ringCap int) *trace.Ring {
 	ring := trace.NewRing(ringCap)
 	if p := protocolOf(rt); p != nil {
 		p.Trace = ring
 	}
+	cl := rt.Cluster()
+	cl.Wire.BindTrace(ring)
+	if inj := cl.Wire.Fault(); inj != nil {
+		inj.BindTrace(ring)
+	}
+	return ring
+}
+
+// RunAppTraced runs an application with a trace ring of the given capacity
+// attached (AttachRing), returning the result, the event counters, and the
+// ring (inspect Events/Counts/Dropped).
+func RunAppTraced(name, backend string, procs int, scale Scale, costs *sim.Costs, ringCap int) (appapi.Result, *stats.Counters, *trace.Ring, error) {
+	return RunAppTracedWire(name, backend, procs, scale, costs, ringCap, wire.Options{})
+}
+
+// RunAppTracedWire is RunAppTraced with explicit wire-plane options.
+func RunAppTracedWire(name, backend string, procs int, scale Scale, costs *sim.Costs, ringCap int, w wire.Options) (appapi.Result, *stats.Counters, *trace.Ring, error) {
+	rt := NewRuntimeWire(backend, procs, 256<<20, costs, w)
+	ring := AttachRing(rt, ringCap)
 	res, err := runAppOn(rt, name, scale)
 	return res, rt.Cluster().Ctr, ring, err
 }
 
 // RunAppFault runs an application with the given fault injector installed
-// (trace ring attached to both the protocol and the injector) and returns
-// the result plus the run's counters and ring.
+// (one trace ring attached to the protocol, the wire plane and the injector
+// via AttachRing) and returns the result plus the run's counters and ring.
 func RunAppFault(name, backend string, procs int, scale Scale, costs *sim.Costs, inj *fault.Injector, ringCap int) (appapi.Result, *stats.Counters, *trace.Ring, error) {
 	rt := NewFaultRuntime(backend, procs, 256<<20, costs, inj)
-	ring := trace.NewRing(ringCap)
-	if p := protocolOf(rt); p != nil {
-		p.Trace = ring
-	}
-	if inj != nil {
-		inj.BindTrace(ring)
-	}
+	ring := AttachRing(rt, ringCap)
 	res, err := runAppOn(rt, name, scale)
 	return res, rt.Cluster().Ctr, ring, err
 }

@@ -12,6 +12,7 @@ import (
 	"cables/internal/sim"
 	"cables/internal/stats"
 	"cables/internal/vmmc"
+	"cables/internal/wire"
 )
 
 // Fig5Cell is one (app, procs, backend) outcome.
@@ -50,6 +51,12 @@ func fig5Cells(apps []string, procs []int) []fig5CellSpec {
 // (app, procs, backend) — is identical for any jobs value (jobs <= 1 runs
 // the sweep sequentially, exactly as before).
 func RunFig5(apps []string, procs []int, scale Scale, costs *sim.Costs, jobs int) Fig5Data {
+	return RunFig5Wire(apps, procs, scale, costs, jobs, wire.Options{})
+}
+
+// RunFig5Wire is RunFig5 with explicit wire-plane options: every cell of the
+// sweep runs with the same op-plane modes (-contended-sync, -coalesce).
+func RunFig5Wire(apps []string, procs []int, scale Scale, costs *sim.Costs, jobs int, w wire.Options) Fig5Data {
 	if len(apps) == 0 {
 		apps = AppNames
 	}
@@ -59,7 +66,7 @@ func RunFig5(apps []string, procs []int, scale Scale, costs *sim.Costs, jobs int
 	specs := fig5Cells(apps, procs)
 	cells := make([]Fig5Cell, len(specs))
 	errs := RunCells(jobs, len(specs), func(i int) {
-		res, err := RunApp(specs[i].app, specs[i].backend, specs[i].procs, scale, costs)
+		res, err := RunAppWire(specs[i].app, specs[i].backend, specs[i].procs, scale, costs, w)
 		cells[i] = Fig5Cell{Res: res, Err: err}
 	})
 	data := make(Fig5Data)

@@ -8,11 +8,19 @@ import (
 	"sort"
 )
 
+// maxWirePlaneOverhead is the comparison gate on the wire plane's per-op
+// dispatch cost: Plane.Do may add at most 2% of one flush operation over
+// the pre-plane inline sequence (the Derived["wire_plane_overhead"] ratio).
+const maxWirePlaneOverhead = 0.02
+
 // Compare prints a benchstat-style delta table of two reports: per
 // benchmark, old and new ns/op and allocs/op with the relative change.
 // Benchmarks present in only one report are listed with "-" on the missing
 // side, so renamed or added cases are visible rather than silently dropped.
-func Compare(w io.Writer, old, cur Report) {
+// It returns an error when the new report violates a perf guard — currently
+// wire_plane_overhead exceeding maxWirePlaneOverhead — so `cablesim
+// hostperf -compare` fails loudly on a choke-point regression.
+func Compare(w io.Writer, old, cur Report) error {
 	names := make(map[string]bool, len(old.Benchmarks)+len(cur.Benchmarks))
 	for n := range old.Benchmarks {
 		names[n] = true
@@ -47,6 +55,11 @@ func Compare(w io.Writer, old, cur Report) {
 				pctDelta(float64(o.AllocsPerOp), float64(c.AllocsPerOp)))
 		}
 	}
+	if ov, ok := cur.Derived["wire_plane_overhead"]; ok && ov > maxWirePlaneOverhead {
+		return fmt.Errorf("wire_plane_overhead %.4f exceeds the %.0f%% gate: Plane.Do dispatch has regressed",
+			ov, maxWirePlaneOverhead*100)
+	}
+	return nil
 }
 
 // pctDelta renders the relative change from old to new.
@@ -70,8 +83,7 @@ func CompareFiles(w io.Writer, oldPath, newPath string) error {
 	if err != nil {
 		return err
 	}
-	Compare(w, old, cur)
-	return nil
+	return Compare(w, old, cur)
 }
 
 func readReport(path string) (Report, error) {

@@ -53,6 +53,8 @@ func Cases() []Case {
 		{"diff/ref/dense", DiffRefDense},
 		{"flush", Flush},
 		{"acquire", Acquire},
+		{"wire/do", WireDo},
+		{"wire/direct", WireDirect},
 		{"e2e/fft", E2EFFT},
 		{"e2e/ocean", E2EOcean},
 	}
@@ -320,6 +322,17 @@ func Run() Report {
 		if ker.NsPerOp > 0 {
 			rep.Derived["diff_speedup_"+kind] = ref.NsPerOp / ker.NsPerOp
 		}
+	}
+	// Wire-plane dispatch overhead: the host-time cost Plane.Do adds over
+	// the inline charge+count sequence call sites used before the plane,
+	// expressed relative to one flush operation (a representative protocol
+	// op).  Compare gates on this staying under 2%.
+	if fl := rep.Benchmarks["flush"].NsPerOp; fl > 0 {
+		delta := rep.Benchmarks["wire/do"].NsPerOp - rep.Benchmarks["wire/direct"].NsPerOp
+		if delta < 0 {
+			delta = 0
+		}
+		rep.Derived["wire_plane_overhead"] = delta / fl
 	}
 	rep.Derived["flush_allocs_per_op"] = float64(rep.Benchmarks["flush"].AllocsPerOp)
 	rep.Derived["flush_bytes_per_op"] = float64(rep.Benchmarks["flush"].BytesPerOp)

@@ -35,3 +35,48 @@ func TestReportJSONShape(t *testing.T) {
 		t.Fatalf("round trip lost data: %+v", back)
 	}
 }
+
+// TestCompareGatesWirePlaneOverhead: the delta printer doubles as a perf
+// gate — a fresh report whose wire_plane_overhead ratio exceeds 2% makes
+// Compare (and so `cablesim hostperf -compare`) return an error.
+func TestCompareGatesWirePlaneOverhead(t *testing.T) {
+	old := Report{Benchmarks: map[string]Metric{}, Derived: map[string]float64{}}
+	ok := Report{Benchmarks: map[string]Metric{},
+		Derived: map[string]float64{"wire_plane_overhead": 0.004}}
+	var buf bytes.Buffer
+	if err := Compare(&buf, old, ok); err != nil {
+		t.Fatalf("overhead under the gate rejected: %v", err)
+	}
+	bad := Report{Benchmarks: map[string]Metric{},
+		Derived: map[string]float64{"wire_plane_overhead": 0.05}}
+	if err := Compare(&buf, old, bad); err == nil {
+		t.Fatal("5% wire-plane overhead passed the 2% gate")
+	}
+}
+
+// TestWirePlaneOverheadSmall runs just the three relevant benchmarks once
+// each and checks the derived ratio stays under the gate on this host: the
+// choke point must cost a negligible fraction of a real protocol op.
+func TestWirePlaneOverheadSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmarks under -short")
+	}
+	rep := Report{Benchmarks: map[string]Metric{}, Derived: map[string]float64{}}
+	for _, c := range Cases() {
+		switch c.Name {
+		case "flush", "wire/do", "wire/direct":
+			r := testing.Benchmark(c.Fn)
+			rep.Benchmarks[c.Name] = Metric{NsPerOp: float64(r.NsPerOp()), N: r.N}
+		}
+	}
+	delta := rep.Benchmarks["wire/do"].NsPerOp - rep.Benchmarks["wire/direct"].NsPerOp
+	if delta < 0 {
+		delta = 0
+	}
+	ov := delta / rep.Benchmarks["flush"].NsPerOp
+	if ov > maxWirePlaneOverhead {
+		t.Errorf("wire plane dispatch overhead %.4f exceeds the %.2f gate (do %.1fns, direct %.1fns, flush %.1fns)",
+			ov, maxWirePlaneOverhead, rep.Benchmarks["wire/do"].NsPerOp,
+			rep.Benchmarks["wire/direct"].NsPerOp, rep.Benchmarks["flush"].NsPerOp)
+	}
+}

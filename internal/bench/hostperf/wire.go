@@ -1,0 +1,51 @@
+package hostperf
+
+import (
+	"testing"
+
+	"cables/internal/san"
+	"cables/internal/sim"
+	"cables/internal/stats"
+	"cables/internal/vmmc"
+	"cables/internal/wire"
+)
+
+// newWirePlane builds a small plane (and substrate) for the dispatch
+// microbenchmarks.
+func newWirePlane() *wire.Plane {
+	ctr := stats.NewCounters(4)
+	fab := san.New(4, sim.DefaultCosts(), ctr)
+	return wire.New(fab, vmmc.NewSystem(fab, vmmc.DefaultLimits()), wire.Options{})
+}
+
+// WireDo measures one control-plane op through the choke point: Plane.Do's
+// dispatch, flat-cost lookup, charge, counters and (detached) trace check.
+func WireDo(b *testing.B) {
+	p := newWirePlane()
+	task := sim.NewTask(1, 0, sim.DefaultCosts())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Do(task, wire.Op{Kind: wire.KindAdminReq, Dst: 1})
+	}
+}
+
+// WireDirect measures the pre-plane equivalent of the same op: the inline
+// charge plus the two counter bumps every call site used to perform itself.
+// The delta against wire/do is the plane's per-op dispatch overhead.
+func WireDirect(b *testing.B) {
+	ctr := stats.NewCounters(4)
+	costs := sim.DefaultCosts()
+	task := sim.NewTask(1, 0, costs)
+	// The category is irrelevant to the charge path's host cost; an aliased
+	// CatComm keeps this baseline out of the wire-plane choke-point lint
+	// (cmd/doccheck), which it is deliberately measuring life without.
+	cat := sim.CatComm
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		task.Charge(cat, costs.AdminReqComm)
+		ctr.Add(0, stats.EvMessagesSent, 1)
+		ctr.Add(0, stats.EvBytesSent, 16)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"cables/internal/m4"
 	"cables/internal/sim"
 	"cables/internal/stats"
+	"cables/internal/wire"
 )
 
 // Scale selects problem sizes: "test" for quick CI-size runs, "paper" for
@@ -56,13 +57,20 @@ var AppNames = []string{
 // ProcCounts is the paper's processor sweep.
 var ProcCounts = []int{1, 4, 8, 16, 32}
 
-// NewRuntime builds an application runtime on the chosen backend.
+// NewRuntime builds an application runtime on the chosen backend with the
+// default (paper-faithful) wire plane.
 func NewRuntime(backend string, procs int, arena int64, costs *sim.Costs) appapi.Runtime {
+	return NewRuntimeWire(backend, procs, arena, costs, wire.Options{})
+}
+
+// NewRuntimeWire builds an application runtime on the chosen backend with
+// explicit wire-plane options (-contended-sync, -coalesce).
+func NewRuntimeWire(backend string, procs int, arena int64, costs *sim.Costs, w wire.Options) appapi.Runtime {
 	switch backend {
 	case BackendGenima:
-		return m4.New(m4.Config{Procs: procs, ProcsPerNode: 2, ArenaBytes: arena, Costs: costs})
+		return m4.New(m4.Config{Procs: procs, ProcsPerNode: 2, ArenaBytes: arena, Costs: costs, Wire: w})
 	case BackendCables:
-		return cables.NewM4(cables.M4Config{Procs: procs, ProcsPerNode: 2, ArenaBytes: arena, Costs: costs})
+		return cables.NewM4(cables.M4Config{Procs: procs, ProcsPerNode: 2, ArenaBytes: arena, Costs: costs, Wire: w})
 	default:
 		panic(fmt.Sprintf("bench: unknown backend %q", backend))
 	}
@@ -72,13 +80,23 @@ func NewRuntime(backend string, procs int, arena int64, costs *sim.Costs) appapi
 // given backend.  Registration failures (the base system's NIC limits)
 // surface as errors, exactly like the paper's OCEAN-at-32 case.
 func RunApp(name, backend string, procs int, scale Scale, costs *sim.Costs) (appapi.Result, error) {
-	return runAppOn(NewRuntime(backend, procs, 256<<20, costs), name, scale)
+	return RunAppWire(name, backend, procs, scale, costs, wire.Options{})
+}
+
+// RunAppWire is RunApp with explicit wire-plane options.
+func RunAppWire(name, backend string, procs int, scale Scale, costs *sim.Costs, w wire.Options) (appapi.Result, error) {
+	return runAppOn(NewRuntimeWire(backend, procs, 256<<20, costs, w), name, scale)
 }
 
 // RunAppCounters runs an application and also returns the system event
 // counters (the `cablesim counters` profile).
 func RunAppCounters(name, backend string, procs int, scale Scale, costs *sim.Costs) (appapi.Result, *stats.Counters, error) {
-	rt := NewRuntime(backend, procs, 256<<20, costs)
+	return RunAppCountersWire(name, backend, procs, scale, costs, wire.Options{})
+}
+
+// RunAppCountersWire is RunAppCounters with explicit wire-plane options.
+func RunAppCountersWire(name, backend string, procs int, scale Scale, costs *sim.Costs, w wire.Options) (appapi.Result, *stats.Counters, error) {
+	rt := NewRuntimeWire(backend, procs, 256<<20, costs, w)
 	res, err := runAppOn(rt, name, scale)
 	return res, rt.Cluster().Ctr, err
 }

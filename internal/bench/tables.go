@@ -12,6 +12,7 @@ import (
 	"cables/internal/openmp"
 	"cables/internal/sim"
 	"cables/internal/stats"
+	"cables/internal/wire"
 
 	"cables/internal/apps/misc"
 	"cables/internal/apps/omp"
@@ -30,19 +31,21 @@ func Table3(w io.Writer) *stats.Table {
 		return t.Now()
 	}
 
-	send1 := measure(func(cl *nodeos.Cluster, t *sim.Task) { cl.VMMC.RemoteWrite(t, 1, 8) })
-	fetch1 := measure(func(cl *nodeos.Cluster, t *sim.Task) { cl.VMMC.Fetch(t, 1, 8) })
-	send4k := measure(func(cl *nodeos.Cluster, t *sim.Task) { cl.VMMC.RemoteWrite(t, 1, 4096) })
-	fetch4k := measure(func(cl *nodeos.Cluster, t *sim.Task) { cl.VMMC.Fetch(t, 1, 4096) })
-	notif := measure(func(cl *nodeos.Cluster, t *sim.Task) { cl.VMMC.Notify(t, 1, 8) })
+	op := func(k wire.Kind, size int) func(cl *nodeos.Cluster, t *sim.Task) {
+		return func(cl *nodeos.Cluster, t *sim.Task) {
+			cl.Wire.Do(t, wire.Op{Kind: k, Dst: 1, Size: size})
+		}
+	}
+	send1 := measure(op(wire.KindWrite, 8))
+	fetch1 := measure(op(wire.KindFetch, 8))
+	send4k := measure(op(wire.KindWrite, 4096))
+	fetch4k := measure(op(wire.KindFetch, 4096))
+	notif := measure(op(wire.KindNotify, 8))
 
 	const streamBytes = 64 << 20
-	bwSend := measure(func(cl *nodeos.Cluster, t *sim.Task) { cl.VMMC.StreamWrite(t, 1, streamBytes) })
+	bwSend := measure(op(wire.KindStream, streamBytes))
 	bwMBs := float64(streamBytes) / bwSend.Seconds() / 1e6
-	bwFetch := measure(func(cl *nodeos.Cluster, t *sim.Task) {
-		c := t.Costs()
-		t.Charge(sim.CatComm, c.FetchBase+c.Occupancy(streamBytes))
-	})
+	bwFetch := measure(op(wire.KindStreamFetch, streamBytes))
 	bwFetchMBs := float64(streamBytes) / bwFetch.Seconds() / 1e6
 
 	tab.AddRow("1-word send (one-way lat)", send1.String())

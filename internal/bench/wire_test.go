@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"testing"
+
+	"cables/internal/memsys"
+	"cables/internal/sim"
+	"cables/internal/stats"
+	"cables/internal/wire"
+)
+
+// TestWireConservationInvariant checks the op plane's accounting contract
+// end to end on both backends: every byte the counters report as sent or
+// fetched appears as the Arg of exactly one wire.* trace event, so the
+// retained trace ring (no drops) sums to the byte counters.
+func TestWireConservationInvariant(t *testing.T) {
+	for _, backend := range []string{BackendGenima, BackendCables} {
+		res, ctr, ring, err := RunAppTraced("FFT", backend, 4, ScaleTest, nil, 1<<19)
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if res.Checksum == 0 {
+			t.Fatalf("%s: empty run", backend)
+		}
+		if d := ring.Dropped(); d != 0 {
+			t.Fatalf("%s: ring dropped %d events; the sum would be partial", backend, d)
+		}
+		var traced int64
+		for _, e := range ring.Events() {
+			if wire.IsWire(e.Kind) {
+				traced += int64(e.Arg)
+			}
+		}
+		counted := ctr.Load(stats.EvBytesSent) + ctr.Load(stats.EvBytesFetched)
+		if traced != counted {
+			t.Errorf("%s: conservation violated: wire trace Args sum to %d bytes, counters report %d",
+				backend, traced, counted)
+		}
+		if traced == 0 {
+			t.Errorf("%s: no wire traffic traced; the invariant is vacuous", backend)
+		}
+	}
+}
+
+// coalesceWorkload is a strictly sequential (host-schedule-independent)
+// genima run in which each worker dirties many remote-homed pages inside
+// one critical section, so every release flushes a burst of diffs to one
+// home — the shape the GeNIMA release protocol-opt coalesces.  It returns
+// the run's counters and virtual end time.
+func coalesceWorkload(t *testing.T, w wire.Options) (*stats.Counters, sim.Time) {
+	t.Helper()
+	rt := NewRuntimeWire(BackendGenima, 6, 64<<20, nil, w)
+	main := rt.Main()
+	acc := rt.Acc()
+	a, err := rt.Malloc(main, "seq", 256<<10)
+	if err != nil {
+		t.Fatalf("malloc: %v", err)
+	}
+	// Master first-touches every page, homing them all on node 0; workers on
+	// the other nodes then dirty 10 pages per critical section.
+	for p := 0; p < 64; p++ {
+		acc.WriteI64(main, a+memsys.Addr(p*memsys.PageSize), int64(p))
+	}
+	for wkr := 0; wkr < 6; wkr++ {
+		id := rt.Spawn(main, func(task *sim.Task) {
+			base := a + memsys.Addr(wkr*10*memsys.PageSize)
+			rt.Lock(task, 1)
+			for p := 0; p < 10; p++ {
+				addr := base + memsys.Addr(p*memsys.PageSize)
+				acc.WriteI64(task, addr, acc.ReadI64(task, addr)+int64(wkr+p))
+			}
+			rt.Unlock(task, 1)
+		})
+		rt.Join(main, id)
+	}
+	// Validate the data survived whichever flush encoding ran.
+	sum := int64(0)
+	for p := 0; p < 64; p++ {
+		sum += acc.ReadI64(main, a+memsys.Addr(p*memsys.PageSize))
+	}
+	want := int64(0)
+	for p := 0; p < 64; p++ {
+		want += int64(p)
+	}
+	for wkr := 0; wkr < 6; wkr++ {
+		for p := 0; p < 10; p++ {
+			want += int64(wkr + p)
+		}
+	}
+	if sum != want {
+		t.Fatalf("data corrupted: checksum %d, want %d", sum, want)
+	}
+	end := rt.Finish()
+	return rt.Cluster().Ctr, end
+}
+
+// TestCoalesceFewerMessages checks -coalesce semantics: the same workload
+// produces the same data and the same number of diffs, carried by strictly
+// fewer wire messages (one remote write per home per release instead of one
+// per page).
+func TestCoalesceFewerMessages(t *testing.T) {
+	plain, _ := coalesceWorkload(t, wire.Options{})
+	coal, _ := coalesceWorkload(t, wire.Options{Coalesce: true})
+	if p, c := plain.Load(stats.EvDiffsSent), coal.Load(stats.EvDiffsSent); p != c {
+		t.Errorf("coalescing changed the diff count: %d vs %d", p, c)
+	}
+	p, c := plain.Load(stats.EvMessagesSent), coal.Load(stats.EvMessagesSent)
+	if c >= p {
+		t.Errorf("coalescing did not reduce messages: %d vs %d", p, c)
+	}
+	if pb, cb := plain.Load(stats.EvDiffBytes), coal.Load(stats.EvDiffBytes); pb != cb {
+		t.Errorf("coalescing changed the diffed bytes: %d vs %d", pb, cb)
+	}
+}
+
+// TestDefaultWireOptionsBitIdentical pins the plane's compatibility
+// contract at the harness level: explicitly passing the zero Options
+// reproduces RunApp exactly, counter for counter, on a deterministic
+// sequential workload.
+func TestDefaultWireOptionsBitIdentical(t *testing.T) {
+	a, enda := coalesceWorkload(t, wire.Options{})
+	b, endb := coalesceWorkload(t, wire.Options{})
+	if enda != endb {
+		t.Errorf("sequential workload not reproducible: end %v vs %v", enda, endb)
+	}
+	for _, e := range []stats.Event{
+		stats.EvMessagesSent, stats.EvBytesSent, stats.EvBytesFetched,
+		stats.EvWireOps, stats.EvDiffsSent, stats.EvPageFaults,
+	} {
+		if va, vb := a.Load(e), b.Load(e); va != vb {
+			t.Errorf("counter %v differs across identical runs: %d vs %d", e, va, vb)
+		}
+	}
+}
+
+// TestFig5ContendedSyncRaceSmoke is the `make race` cell for the
+// -contended-sync mode: one fig5 column with sync traffic holding NIC
+// occupancy, under the race detector, on both backends.
+func TestFig5ContendedSyncRaceSmoke(t *testing.T) {
+	data := RunFig5Wire([]string{"FFT"}, []int{4}, ScaleTest, nil, 2,
+		wire.Options{ContendedSync: true})
+	for _, backend := range []string{BackendGenima, BackendCables} {
+		cell := data["FFT"][4][backend]
+		if cell.Err != nil {
+			t.Errorf("FFT/%s at 4 procs: %v", backend, cell.Err)
+		}
+		if cell.Res.Parallel <= 0 {
+			t.Errorf("FFT/%s: implausible parallel time %v", backend, cell.Res.Parallel)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"cables/internal/memsys"
 	"cables/internal/nodeos"
 	"cables/internal/sim"
+	"cables/internal/wire"
 )
 
 // M4Runtime adapts CableS to the appapi.Runtime interface: it is the
@@ -37,6 +38,8 @@ type M4Config struct {
 	Placement string
 	// Fault optionally injects deterministic faults (see internal/fault).
 	Fault *fault.Injector
+	// Wire selects the wire plane's opt-in modes.
+	Wire wire.Options
 }
 
 // NewM4 builds the CableS backend for a P-processor run.
@@ -56,6 +59,7 @@ func NewM4(cfg M4Config) *M4Runtime {
 		Placement:       cfg.Placement,
 		CoordinatorMain: true,
 		Fault:           cfg.Fault,
+		Wire:            cfg.Wire,
 	})
 	rt.Start()
 	return &M4Runtime{

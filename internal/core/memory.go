@@ -8,6 +8,7 @@ import (
 	"cables/internal/sim"
 	"cables/internal/stats"
 	"cables/internal/vmmc"
+	"cables/internal/wire"
 )
 
 // MemManager implements CableS's dynamic global memory management (§2.1.3):
@@ -209,7 +210,7 @@ func (m *MemManager) HomeFor(t *sim.Task, pid memsys.PageID) int {
 		} else {
 			t.Charge(sim.CatLocal, c.SegMigrateLocal+3*sim.Microsecond)
 			t.Charge(sim.CatLocalOS, c.SegMigrateLocalOS-2*sim.Microsecond)
-			t.Charge(sim.CatComm, c.SegMigrateComm)
+			m.rt.cl.Wire.Do(t, wire.Op{Kind: wire.KindSegMigrate, Dst: master, Arg: uint64(unit)})
 		}
 		m.unitSeen[node][unit].Store(true)
 		m.rt.cl.Ctr.Add(t.NodeID, stats.EvSegMigrations, 1)
@@ -229,7 +230,7 @@ func (m *MemManager) chargeDetect(t *sim.Task, unit int) {
 	if !m.unitSeen[node][unit].Load() {
 		m.unitSeen[node][unit].Store(true)
 		if node != m.rt.acb.masterNode {
-			t.Charge(sim.CatComm, c.SegDetectFirstComm)
+			m.rt.cl.Wire.Do(t, wire.Op{Kind: wire.KindSegDetect, Dst: m.rt.acb.masterNode, Arg: uint64(unit)})
 		}
 	}
 	m.rt.cl.Ctr.Add(node, stats.EvOwnerDetects, 1)
@@ -308,7 +309,10 @@ func (m *MemManager) MigratePage(t *sim.Task, pid memsys.PageID, dst int) {
 	m.sp.SetHome(pid, dst)
 	dc.Mu.Unlock()
 	sc.Mu.Unlock()
-	m.rt.cl.VMMC.Fetch(t, src, memsys.PageSize)
+	// The pull from the old home goes through the wire plane as a migrate
+	// op, so the move shows up in the trace (`migrate`, page id) and the
+	// pageMigrations counter instead of masquerading as a plain fetch.
+	m.rt.cl.Wire.Do(t, wire.Op{Kind: wire.KindMigrate, Dst: src, Size: memsys.PageSize, Arg: uint64(pid)})
 	m.rt.cl.Nodes[dst].ChargeMapSegment(t)
 	m.rt.proto.PublishInvalidate(dst, pid)
 }

@@ -7,6 +7,9 @@ import (
 	cables "cables/internal/core"
 	"cables/internal/memsys"
 	"cables/internal/sim"
+	"cables/internal/stats"
+	"cables/internal/trace"
+	"cables/internal/wire"
 )
 
 // TestMallocAlignment: large allocations come back map-unit aligned
@@ -226,5 +229,52 @@ func TestThreadSpecificData(t *testing.T) {
 	}
 	if len(seen) != 4 {
 		t.Errorf("TSD values collided: %v", seen)
+	}
+}
+
+// TestMigratePageTraced: the migration fetch rides the wire plane, so an
+// attached trace ring sees both the `migrate` protocol event (Arg = page
+// id) and the `wire.migrate` transfer, and the pageMigrations counter
+// advances — this is what `cablesim counters -trace` renders.
+func TestMigratePageTraced(t *testing.T) {
+	rt := newRT(2)
+	main := rt.Main()
+	acc := rt.Acc()
+	mem := rt.Mem()
+	a, err := mem.Malloc(main.Task, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc.WriteI64(main.Task, a, 7)
+	rt.Protocol().Flush(main.Task)
+	sp := rt.Protocol().Space()
+	pid := sp.PageOf(a)
+
+	ring := trace.NewRing(64)
+	rt.Cluster().Wire.BindTrace(ring)
+	before := rt.Cluster().Ctr.Load(stats.EvPageMigrations)
+	home := sp.Home(pid)
+	// First hop: the old home is the caller's node, so the copy is local.
+	// The hop back pulls the page from the remote home — a wire transfer.
+	mem.MigratePage(main.Task, pid, (home+1)%2)
+	mem.MigratePage(main.Task, pid, home)
+
+	if got := rt.Cluster().Ctr.Load(stats.EvPageMigrations) - before; got != 2 {
+		t.Errorf("pageMigrations advanced by %d, want 2", got)
+	}
+	var sawMigrate, sawWire bool
+	for _, e := range ring.Events() {
+		if e.Kind == trace.KindMigrate && e.Arg == uint64(pid) {
+			sawMigrate = true
+		}
+		if e.Kind == wire.KindMigrate.TraceKind() {
+			sawWire = true
+		}
+	}
+	if !sawMigrate {
+		t.Error("no migrate trace event with the page id")
+	}
+	if !sawWire {
+		t.Error("no wire.migrate transfer event")
 	}
 }

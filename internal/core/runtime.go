@@ -28,6 +28,7 @@ import (
 	"cables/internal/nodeos"
 	"cables/internal/sim"
 	"cables/internal/stats"
+	"cables/internal/wire"
 )
 
 // Config selects the cluster shape and CableS policies.
@@ -60,6 +61,9 @@ type Config struct {
 	// failures, registration pressure, node lifecycle events); nil keeps
 	// every charge bit-identical to the fault-free build.
 	Fault *fault.Injector
+	// Wire selects the wire plane's opt-in modes (contended sync, release
+	// coalescing); the zero value reproduces the default schedule.
+	Wire wire.Options
 }
 
 // Runtime is one CableS application instance.
@@ -139,6 +143,7 @@ func New(cfg Config) *Runtime {
 		ProcsPerNode: cfg.ProcsPerNode,
 		Costs:        cfg.Costs,
 		Fault:        cfg.Fault,
+		Wire:         cfg.Wire,
 	})
 	rt := &Runtime{cl: cl, cfg: cfg}
 	rt.acb = &ACB{
@@ -208,7 +213,7 @@ func (rt *Runtime) chargeAdmin(t *sim.Task) {
 	c := rt.cl.Costs
 	t.Charge(sim.CatLocal, c.AdminReqLocal)
 	if t.NodeID != rt.acb.masterNode {
-		t.Charge(sim.CatComm, c.AdminReqComm)
+		rt.cl.Wire.Do(t, wire.Op{Kind: wire.KindAdminReq, Dst: rt.acb.masterNode})
 	}
 	rt.cl.Ctr.Add(t.NodeID, stats.EvAdminRequests, 1)
 }
@@ -227,7 +232,7 @@ func (rt *Runtime) attachNode(t *sim.Task, node int) {
 	// Charged sequential chain (sums to the observed 3690 ms total).
 	t.Charge(sim.CatLocal, c.AttachLocal)
 	t.Charge(sim.CatLocalOS, c.AttachLocalOS)
-	t.Charge(sim.CatComm, c.AttachComm)
+	rt.cl.Wire.Do(t, wire.Op{Kind: wire.KindAttach, Dst: node})
 	t.Charge(sim.CatRemote, c.AttachRemote)
 	// The remote process creation overlaps the above (paper: breakdowns "will
 	// not exactly add up to the total"); attribute without advancing.
@@ -334,7 +339,7 @@ func (rt *Runtime) Create(parent *sim.Task, fn func(th *Thread)) *Thread {
 	default:
 		parent.Charge(sim.CatLocal, c.ThreadCreateReqLocal)
 		parent.Charge(sim.CatRemote, c.ThreadCreateReqRemote)
-		parent.Charge(sim.CatComm, c.ThreadCreateComm)
+		rt.cl.Wire.Do(parent, wire.Op{Kind: wire.KindThreadCreate, Dst: node})
 		parent.Charge(sim.CatRemoteOS, c.OSRemoteThreadCreate)
 	}
 

@@ -6,6 +6,7 @@ import (
 	"cables/internal/memsys"
 	"cables/internal/sim"
 	"cables/internal/stats"
+	"cables/internal/wire"
 )
 
 // Mutex is a pthread mutex.  CableS implements mutexes directly on the
@@ -62,7 +63,8 @@ func (c *Cond) Wait(th *Thread, mx *Mutex) {
 	// here is honored by the select below, after the mutex is released.
 	costs := c.rt.cl.Costs
 	t.Charge(sim.CatLocal, costs.CondWaitLocal)
-	t.Charge(sim.CatComm, costs.CondWaitComm)
+	// ACB waiter registration: a small write to the master's control block.
+	c.rt.cl.Wire.Do(t, wire.Op{Kind: wire.KindCondWait, Dst: c.rt.acb.masterNode})
 	t.Charge(sim.CatWait, 10*sim.Microsecond) // ACB update round-trip slack
 	if c.rt.Stats != nil {
 		// The API overhead of the wait itself, excluding blocking time and
@@ -144,7 +146,7 @@ func (c *Cond) Signal(t *sim.Task) {
 		return
 	}
 	if w.node != t.NodeID {
-		t.Charge(sim.CatComm, costs.CondSignalComm)
+		c.rt.cl.Wire.Do(t, wire.Op{Kind: wire.KindCondSignal, Dst: w.node})
 	} else {
 		t.Charge(sim.CatLocal, 5*sim.Microsecond)
 	}
@@ -168,7 +170,7 @@ func (c *Cond) Broadcast(t *sim.Task) {
 	for _, w := range ws {
 		if w.node != t.NodeID && !notified[w.node] {
 			notified[w.node] = true
-			t.Charge(sim.CatComm, costs.CondBcastComm)
+			c.rt.cl.Wire.Do(t, wire.Op{Kind: wire.KindCondBcast, Dst: w.node})
 		}
 	}
 	now := t.Now()

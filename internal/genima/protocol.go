@@ -32,6 +32,7 @@ import (
 	"cables/internal/sim"
 	"cables/internal/stats"
 	"cables/internal/trace"
+	"cables/internal/wire"
 )
 
 // Placement decides the home of a page on its first touch.  The base system
@@ -239,7 +240,7 @@ func (p *Protocol) validate(t *sim.Task, pid memsys.PageID) *memsys.PageCopy {
 		}
 		hc.Mu.Unlock()
 		p.acc.FlushEnd(home)
-		p.cl.VMMC.Fetch(t, home, memsys.PageSize)
+		p.cl.Wire.Do(t, wire.Op{Kind: wire.KindFetch, Dst: home, Size: memsys.PageSize, Arg: uint64(pid)})
 		if dead {
 			// Adopting the page remaps it into this node's home region.
 			t.Charge(sim.CatLocalOS, costs.OSMapSegment)
@@ -290,6 +291,13 @@ func (p *Protocol) WriteFault(t *sim.Task, pid memsys.PageID) {
 // Flush ends the node's current write interval: every dirty page is diffed
 // and the diff applied to its home with a direct remote write; the interval
 // is published to the log.  Called at releases and barrier arrivals.
+//
+// Under wire.Options.Coalesce (the GeNIMA release "protocol opt") the
+// per-page remote writes to one home gather into a single wire op per home:
+// adjacent diff runs travel back-to-back and the interval's write notices
+// piggyback in the one message header, so a release costs one message per
+// home instead of one per page.  The diffs themselves (and their local
+// diff-computation cost and counters) are unchanged.
 func (p *Protocol) Flush(t *sim.Task) {
 	node := t.NodeID
 	ns := p.nodes[node]
@@ -312,11 +320,26 @@ func (p *Protocol) Flush(t *sim.Task) {
 
 	slices.Sort(work) // deterministic flush/notice order
 
+	var batch map[int]int // coalesce mode: home node -> gathered diff bytes
+	if p.cl.Wire.Options().Coalesce {
+		batch = make(map[int]int)
+	}
+
 	p.acc.FlushBegin(node)
 	pages := make([]memsys.PageID, 0, len(work))
 	for _, pid := range work {
-		if p.flushPage(t, node, pid) {
+		if p.flushPage(t, node, pid, batch) {
 			pages = append(pages, pid)
+		}
+	}
+	if len(batch) > 0 {
+		homes := make([]int, 0, len(batch))
+		for h := range batch {
+			homes = append(homes, h)
+		}
+		slices.Sort(homes) // deterministic issue order
+		for _, h := range homes {
+			p.cl.Wire.Do(t, wire.Op{Kind: wire.KindWrite, Dst: h, Size: batch[h] + 16})
 		}
 	}
 	p.acc.FlushEnd(node)
@@ -340,8 +363,9 @@ func (p *Protocol) Flush(t *sim.Task) {
 }
 
 // flushPage diffs one dirty page to its home.  Returns whether the page was
-// actually modified (and so needs a write notice).
-func (p *Protocol) flushPage(t *sim.Task, node int, pid memsys.PageID) bool {
+// actually modified (and so needs a write notice).  A non-nil batch gathers
+// the remote-write bytes per home instead of issuing per-page wire ops.
+func (p *Protocol) flushPage(t *sim.Task, node int, pid memsys.PageID, batch map[int]int) bool {
 	pc := p.sp.Copy(node, pid)
 	pc.Mu.Lock()
 	defer pc.Mu.Unlock()
@@ -359,7 +383,7 @@ func (p *Protocol) flushPage(t *sim.Task, node int, pid memsys.PageID) bool {
 		pc.SetWritten(false)
 		return false
 	}
-	if p.diffToHome(t, node, pid, pc) == 0 {
+	if p.diffToHome(t, node, pid, pc, batch) == 0 {
 		return false
 	}
 	if p.Trace != nil {
@@ -373,7 +397,9 @@ func (p *Protocol) flushPage(t *sim.Task, node int, pid memsys.PageID) bool {
 // the twin to the page pool.  Both flushPage and forceDiffLocked funnel
 // through here — it is the only place a diff is computed.  Caller holds
 // pc.Mu; pc must have both data and twin, and the home must be remote.
-func (p *Protocol) diffToHome(t *sim.Task, node int, pid memsys.PageID, pc *memsys.PageCopy) int {
+// A non-nil batch defers the remote write: the diff bytes are gathered per
+// home and the caller issues one coalesced wire op per home.
+func (p *Protocol) diffToHome(t *sim.Task, node int, pid memsys.PageID, pc *memsys.PageCopy, batch map[int]int) int {
 	home := p.sp.Home(pid)
 	hc := p.sp.Copy(home, pid)
 	hc.Mu.Lock()
@@ -387,7 +413,11 @@ func (p *Protocol) diffToHome(t *sim.Task, node int, pid memsys.PageID, pc *mems
 		return 0
 	}
 	t.Charge(sim.CatLocal, p.cl.Costs.DiffTime(diffBytes))
-	p.cl.VMMC.RemoteWrite(t, home, diffBytes+16)
+	if batch != nil {
+		batch[home] += diffBytes
+	} else {
+		p.cl.Wire.Do(t, wire.Op{Kind: wire.KindWrite, Dst: home, Size: diffBytes + 16, Arg: uint64(pid)})
+	}
 	p.cl.Ctr.Add(node, stats.EvDiffsSent, 1)
 	p.cl.Ctr.Add(node, stats.EvDiffBytes, int64(diffBytes))
 	return diffBytes
@@ -475,7 +505,7 @@ func (p *Protocol) forceDiffLocked(t *sim.Task, node int, pid memsys.PageID, pc 
 		pc.SetWritten(false)
 		return
 	}
-	p.diffToHome(t, node, pid, pc)
+	p.diffToHome(t, node, pid, pc, nil)
 	ns := p.nodes[node]
 	ns.dirtyMu.Lock()
 	ns.dirtyBits[pid>>6] &^= uint64(1) << (pid & 63)

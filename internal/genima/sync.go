@@ -7,7 +7,15 @@ import (
 	"cables/internal/sim"
 	"cables/internal/stats"
 	"cables/internal/trace"
+	"cables/internal/wire"
 )
+
+// grantee is one parked contended acquire: the waiter's reusable grant
+// channel plus its node, so the hand-off wire op knows its destination.
+type grantee struct {
+	ch   chan sim.Time
+	node int
+}
 
 // SysLock is a GeNIMA system lock: a cluster-wide mutual-exclusion primitive
 // whose state lives on a manager node and is transferred with direct remote
@@ -24,7 +32,7 @@ type SysLock struct {
 
 	mu          sync.Mutex
 	held        bool
-	queue       []chan sim.Time
+	queue       []grantee
 	lastRelease sim.Time
 	lastNode    int // node that last held the lock
 	nodeSeen    []bool
@@ -42,16 +50,20 @@ func (p *Protocol) NewLock(id int) *SysLock {
 	return l
 }
 
-// chargeAcquire applies the Table 4 acquisition cost model for t.
+// chargeAcquire applies the Table 4 acquisition cost model for t.  All
+// communication shares are issued as wire ops against the lock's manager
+// node (the node that last held it — GeNIMA migrates lock state with the
+// holder).
 func (l *SysLock) chargeAcquire(t *sim.Task) {
 	c := l.p.cl.Costs
+	w := l.p.cl.Wire
 	if inj := l.p.cl.Fault; l.lastNode >= 0 && l.lastNode != t.NodeID &&
 		inj.Detached(l.lastNode, t.Now()) {
 		// The manager copy of the lock state lives on a node that has left
 		// the application: pull it to this node before acquiring (one bulk
 		// state transfer plus the remote-acquire base cost), then treat the
 		// acquisition as a fresh local one.
-		t.Charge(sim.CatComm, c.SendTime(64))
+		w.Do(t, wire.Op{Kind: wire.KindRehome, Dst: l.lastNode, Arg: uint64(l.id)})
 		t.Charge(sim.CatLocal, c.MutexRemoteBase)
 		l.lastNode = -1
 		l.p.cl.Ctr.Add(t.NodeID, stats.EvLockRehomes, 1)
@@ -63,17 +75,17 @@ func (l *SysLock) chargeAcquire(t *sim.Task) {
 	switch {
 	case local && first:
 		t.Charge(sim.CatLocal, c.MutexLocalFirstBase)
-		t.Charge(sim.CatComm, c.MutexLocalFirstComm)
+		w.Do(t, wire.Op{Kind: wire.KindLockFirst, Dst: t.NodeID, Arg: uint64(l.id)})
 	case local:
 		t.Charge(sim.CatLocal, c.MutexLocalFast)
 	case first:
 		t.Charge(sim.CatLocal, c.MutexRemoteBase-sim.Microsecond)
 		t.Charge(sim.CatRemote, c.MutexRemoteRemote)
-		t.Charge(sim.CatComm, c.MutexRemoteComm+c.MutexRemoteFirstAdd)
+		w.Do(t, wire.Op{Kind: wire.KindLockRemoteFirst, Dst: l.lastNode, Arg: uint64(l.id)})
 	default:
 		t.Charge(sim.CatLocal, c.MutexRemoteBase)
 		t.Charge(sim.CatRemote, c.MutexRemoteRemote)
-		t.Charge(sim.CatComm, c.MutexRemoteComm)
+		w.Do(t, wire.Op{Kind: wire.KindLockRemote, Dst: l.lastNode, Arg: uint64(l.id)})
 	}
 	l.p.cl.Ctr.Add(t.NodeID, stats.EvLockAcquires, 1)
 	if !local {
@@ -96,7 +108,7 @@ func (l *SysLock) Acquire(t *sim.Task) {
 		// contended acquire.  The acquire never abandons the wait, so the
 		// grant is always consumed and the channel stays clean for reuse.
 		ch := t.Grant()
-		l.queue = append(l.queue, ch)
+		l.queue = append(l.queue, grantee{ch: ch, node: t.NodeID})
 		l.mu.Unlock()
 		grant := <-ch // real block until hand-off
 		t.WaitUntil(grant)
@@ -114,7 +126,7 @@ func (l *SysLock) TryAcquire(t *sim.Task) bool {
 	l.mu.Lock()
 	if l.held {
 		if l.lastNode != t.NodeID && l.lastNode != -1 {
-			t.Charge(sim.CatComm, l.p.cl.Costs.SendTime(16))
+			l.p.cl.Wire.Do(t, wire.Op{Kind: wire.KindLockProbe, Dst: l.lastNode, Arg: uint64(l.id)})
 		}
 		t.Charge(sim.CatLocal, l.p.cl.Costs.MutexLocalFast)
 		l.mu.Unlock()
@@ -145,9 +157,12 @@ func (l *SysLock) Release(t *sim.Task) {
 		next := l.queue[0]
 		l.queue = l.queue[1:]
 		l.mu.Unlock()
-		// Hand-off: the waiter resumes at the release instant plus the
-		// grant-message latency.
-		next <- l.lastRelease + c.SendTime(16)
+		// Hand-off: the waiter resumes at the grant message's delivery
+		// instant (release time plus grant latency; the releaser has moved
+		// on, so the waiter absorbs the latency as wait time).
+		next.ch <- l.p.cl.Wire.DeliverAt(l.lastRelease, wire.Op{
+			Kind: wire.KindLockGrant, Src: t.NodeID, Dst: next.node, Arg: uint64(l.id),
+		})
 		return
 	}
 	l.held = false
@@ -199,14 +214,16 @@ func (b *Barrier) Wait(t *sim.Task, parties int) {
 	b.p.Flush(t)
 	c := b.p.cl.Costs
 	t.Charge(sim.CatLocal, c.BarrierNative)
-	t.Charge(sim.CatComm, c.BarrierNativeComm)
 
 	b.mu.Lock()
+	// Arrival announcement to the manager node (read under b.mu: a rehome
+	// may move it).
+	b.p.cl.Wire.Do(t, wire.Op{Kind: wire.KindBarrierArrive, Dst: b.mgr})
 	if inj := b.p.cl.Fault; b.mgr != 0 && inj.Detached(b.mgr, t.Now()) {
 		// The barrier's arrival counter is managed on a node that has left:
 		// the observing party re-homes the counter state to the master (one
 		// bulk state transfer) before arriving.
-		t.Charge(sim.CatComm, c.SendTime(64))
+		b.p.cl.Wire.Do(t, wire.Op{Kind: wire.KindRehome, Dst: b.mgr, Arg: uint64(len(b.name))})
 		b.mgr = 0
 		b.p.cl.Ctr.Add(t.NodeID, stats.EvBarrierRehomes, 1)
 		inj.NoteRehome(t.NodeID, t.Now(), uint64(len(b.name)))

@@ -17,6 +17,7 @@ import (
 	"cables/internal/nodeos"
 	"cables/internal/sim"
 	"cables/internal/stats"
+	"cables/internal/wire"
 )
 
 // Runtime is the M4-on-GeNIMA backend.
@@ -45,6 +46,9 @@ type Config struct {
 	Costs *sim.Costs
 	// Fault optionally injects deterministic faults (see internal/fault).
 	Fault *fault.Injector
+	// Wire selects the wire plane's opt-in modes (contended sync, release
+	// coalescing); the zero value reproduces the default schedule.
+	Wire wire.Options
 }
 
 // New builds a base-system runtime.  All nodes required for Procs are
@@ -65,6 +69,7 @@ func New(cfg Config) *Runtime {
 		ProcsPerNode: cfg.ProcsPerNode,
 		Costs:        cfg.Costs,
 		Fault:        cfg.Fault,
+		Wire:         cfg.Wire,
 	})
 	rt := &Runtime{
 		cl:    cl,
@@ -112,10 +117,9 @@ func (rt *Runtime) Spawn(parent *sim.Task, fn func(t *sim.Task)) int {
 
 	// Creation has release semantics (the child must see prior writes).
 	rt.proto.Flush(parent)
-	c := rt.cl.Costs
-	parent.Charge(sim.CatLocalOS, c.OSThreadCreate)
+	parent.Charge(sim.CatLocalOS, rt.cl.Costs.OSThreadCreate)
 	if node != parent.NodeID {
-		parent.Charge(sim.CatComm, c.SendTime(64))
+		rt.cl.Wire.Do(parent, wire.Op{Kind: wire.KindSpawn, Dst: node})
 	}
 	child := rt.cl.NewTask(node, parent.Now())
 	rt.cl.Ctr.Add(node, stats.EvThreadsCreated, 1)

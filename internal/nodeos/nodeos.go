@@ -5,10 +5,10 @@
 // remapping), and the OS virtual-memory mapping granularity that drives the
 // paper's data-placement results.
 //
-// NewCluster also wires an optional fault injector (Config.Fault, see
-// internal/fault) into the layers it assembles — the SAN fabric, the VMMC
-// system and the shared counters — so one injector governs every fault site
-// of a simulation.
+// NewCluster also assembles the wire plane (internal/wire) over the SAN
+// fabric and VMMC system, and installs an optional fault injector
+// (Config.Fault, see internal/fault) through the plane's single wiring
+// point — one injector then governs every fault site of a simulation.
 package nodeos
 
 import (
@@ -20,6 +20,7 @@ import (
 	"cables/internal/sim"
 	"cables/internal/stats"
 	"cables/internal/vmmc"
+	"cables/internal/wire"
 )
 
 // Node is one cluster machine (a 2-way SMP in the paper's testbed).
@@ -82,6 +83,9 @@ type Cluster struct {
 	Ctr    *stats.Counters
 	Fabric *san.Fabric
 	VMMC   *vmmc.System
+	// Wire is the typed operation plane all cross-node traffic goes
+	// through (internal/wire).
+	Wire *wire.Plane
 	// Fault is the installed fault injector (nil when faults are disabled).
 	Fault *fault.Injector
 
@@ -101,6 +105,9 @@ type Config struct {
 	// Fault optionally injects deterministic faults (see internal/fault);
 	// nil keeps the happy path bit-identical.
 	Fault *fault.Injector
+	// Wire selects the wire plane's opt-in modes (contended sync, release
+	// coalescing); the zero value reproduces the default schedule.
+	Wire wire.Options
 }
 
 // NewCluster builds a cluster.
@@ -129,10 +136,9 @@ func NewCluster(cfg Config) *Cluster {
 		VMMC:   vmmc.NewSystem(fab, limits),
 		Fault:  cfg.Fault,
 	}
+	cl.Wire = wire.New(fab, cl.VMMC, cfg.Wire)
 	if cfg.Fault != nil {
-		cfg.Fault.BindCounters(ctr)
-		fab.SetFault(cfg.Fault)
-		cl.VMMC.SetFault(cfg.Fault)
+		cl.Wire.SetFault(cfg.Fault)
 	}
 	for i := range cl.Nodes {
 		cl.Nodes[i] = &Node{ID: i, Processors: cfg.ProcsPerNode, costs: costs}

@@ -57,6 +57,18 @@ func (f *Fabric) Costs() *sim.Costs { return f.costs }
 // Counters exposes the shared event counters.
 func (f *Fabric) Counters() *stats.Counters { return f.ctr }
 
+// Reserve books the src port for occ starting no earlier than now and
+// returns the transmission start time.  The wire plane uses it to make
+// control traffic (lock grants, barrier arrivals) queue behind data
+// transfers under -contended-sync; data transfers reserve implicitly via
+// Send/Fetch.
+func (f *Fabric) Reserve(src int, now, occ sim.Time) sim.Time {
+	if src < 0 || src >= len(f.ports) {
+		panic(fmt.Sprintf("san: node out of range (src=%d nodes=%d)", src, len(f.ports)))
+	}
+	return f.reserve(src, now, occ)
+}
+
 // reserve books the src port for occ starting no earlier than now and
 // returns the transmission start time.
 func (f *Fabric) reserve(src int, now, occ sim.Time) sim.Time {

@@ -66,6 +66,11 @@ const (
 	EvNodeDetaches   // nodes detached mid-run by a fault plan
 	EvAttachDelays   // node attaches delayed by a fault plan
 
+	// Wire plane (internal/wire).  Appended so earlier events keep their
+	// numeric identities.
+	EvWireOps        // operations issued through the wire plane
+	EvPageMigrations // page homes moved through the wire plane (KindMigrate)
+
 	numEvents
 )
 
@@ -83,6 +88,7 @@ var eventKeys = [NumEvents]string{
 	"faultsInjected", "sendRetries", "fetchRetries", "notifyLost",
 	"regRecoveries", "lockRehomes", "barrierRehomes", "pageRehomes",
 	"nodeDetaches", "attachDelays",
+	"wireOps", "pageMigrations",
 }
 
 // String returns the Snapshot key of the event.

@@ -269,15 +269,42 @@ func (s *System) Fetch(t *sim.Task, src, size int) {
 // StreamWrite charges t for a pipelined bulk transfer of size bytes to dst:
 // one end-to-end latency plus bandwidth-limited occupancy.  This is the
 // access pattern of the bandwidth microbenchmarks (Table 3's 125 MB/s).
+// Under a fault plan the stream suffers the same transient send failures as
+// ordinary sends: each failed attempt costs one pipelined transfer time plus
+// backoff before the retry.
 func (s *System) StreamWrite(t *sim.Task, dst, size int) {
 	if dst == t.NodeID {
 		t.Charge(sim.CatLocal, localCopyCost(size))
 		return
 	}
 	c := s.fab.Costs()
-	t.Charge(sim.CatComm, c.SendBase+c.Occupancy(size))
+	now := t.Now()
+	var penalty sim.Time
+	for a := 0; a < fault.MaxSendRetries && s.inj.FailSend(t.NodeID, dst, a, now); a++ {
+		penalty += c.SendBase + c.Occupancy(size) + fault.Backoff(a)
+	}
+	t.Charge(sim.CatComm, c.SendBase+c.Occupancy(size)+penalty)
 	s.fab.Counters().Add(t.NodeID, stats.EvMessagesSent, 1)
 	s.fab.Counters().Add(t.NodeID, stats.EvBytesSent, int64(size))
+}
+
+// StreamFetch is the read-side mirror of StreamWrite: a pipelined bulk read
+// of size bytes from src — one round-trip base latency plus bandwidth-limited
+// occupancy (Table 3's read-bandwidth microbenchmark).
+func (s *System) StreamFetch(t *sim.Task, src, size int) {
+	if src == t.NodeID {
+		t.Charge(sim.CatLocal, localCopyCost(size))
+		return
+	}
+	c := s.fab.Costs()
+	now := t.Now()
+	var penalty sim.Time
+	for a := 0; a < fault.MaxSendRetries && s.inj.FailFetch(t.NodeID, src, a, now); a++ {
+		penalty += c.FetchBase + c.Occupancy(size) + fault.Backoff(a)
+	}
+	t.Charge(sim.CatComm, c.FetchBase+c.Occupancy(size)+penalty)
+	s.fab.Counters().Add(t.NodeID, stats.EvFetches, 1)
+	s.fab.Counters().Add(t.NodeID, stats.EvBytesFetched, int64(size))
 }
 
 // Notify charges t for a send carrying size bytes to dst plus the
