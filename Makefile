@@ -1,12 +1,12 @@
 # Developer entry points.  `make check` is the CI gate: vet + build + tests
 # + race on the protocol-critical packages + a 1-iteration smoke run of the
 # hostperf data-plane benchmarks (catches bit-rot in the benchmark harness
-# without paying full benchmark time).
+# without paying full benchmark time) + a profiler export smoke run.
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench hostperf docs
+.PHONY: check vet build test race bench-smoke bench hostperf docs profile-smoke
 
-check: vet build test race bench-smoke docs
+check: vet build test race bench-smoke docs profile-smoke
 
 # Documentation lint: package doc comments on every Go package, and every
 # relative markdown link must resolve (cmd/doccheck, stdlib only).
@@ -29,6 +29,12 @@ race:
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./internal/bench/hostperf/
+
+# Profiler export smoke: run one profiled cell, export the Perfetto
+# timeline, and validate it (well-formed JSON, spans nest per thread).
+profile-smoke:
+	$(GO) run ./cmd/cablesim profile -scale test -apps FFT -procs 4 -o /tmp/cables-profile-smoke.json
+	$(GO) run ./cmd/traceck /tmp/cables-profile-smoke.json
 
 # Full host-time benchmark suite; rewrites BENCH_dataplane.json (the perf
 # trajectory artifact — commit it so successive PRs can compare).

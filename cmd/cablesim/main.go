@@ -11,8 +11,9 @@
 //	cablesim fig6 [-scale s] [-apps ...] [-procs ...] [-gran 4096]
 //	cablesim limits                 # Tables 1/2 registration-limit demo
 //	cablesim hostperf [-o file] [-compare old.json]  # host-time benchmarks → JSON
-//	cablesim counters [-trace] [-apps ...] [-procs ...]  # protocol counters
-//	cablesim faults -plan <spec> [-seed N] [-apps ...] [-procs ...]
+//	cablesim counters [-trace] [-profile] [-apps ...] [-procs ...]  # protocol counters
+//	cablesim faults -plan <spec> [-seed N] [-profile] [-apps ...] [-procs ...]
+//	cablesim profile [-scale s] [-apps ...] [-procs ...] [-top N] [-o trace.json]
 //	cablesim all [-scale s]         # everything above (not hostperf/faults)
 //
 // -scale is "test" (fast) or "paper" (scaled evaluation sizes, default).
@@ -32,6 +33,14 @@
 // -plan is a fault plan (see internal/fault: e.g.
 // "send:p=0.05;detach:node=1,at=5ms"); -seed picks the deterministic
 // injection stream — the same plan and seed reproduce the same faults.
+// `profile` attaches the virtual-time profiler to every cell and prints its
+// span roll-up, hot-page and lock-contention tables, and per-barrier-epoch
+// counter windows; with -o it also writes the merged per-thread timeline as
+// Chrome trace-viewer / Perfetto JSON (load at https://ui.perfetto.dev).
+// -top bounds the hot-page/lock/epoch rows (default 5).  -profile appends
+// the same profile block to each `counters` or `faults` cell.  Profiling
+// follows the observability invariance rule: it records spans and charges
+// nothing, so all results are bit-identical with and without it.
 // -contended-sync and -coalesce select opt-in wire-plane modes for
 // fig5/fig6/fig5+6/counters: the first makes synchronization messages
 // reserve NIC occupancy (sync traffic queues behind data traffic), the
@@ -50,6 +59,7 @@ import (
 	"cables/internal/bench"
 	"cables/internal/bench/hostperf"
 	"cables/internal/fault"
+	"cables/internal/profile"
 	"cables/internal/sim"
 	"cables/internal/trace"
 	"cables/internal/wire"
@@ -71,6 +81,8 @@ func main() {
 		"max concurrent simulation cells (1 = sequential; results are identical either way)")
 	compare := fs.String("compare", "", "hostperf: print deltas against a previous report (path to old JSON)")
 	traceOn := fs.Bool("trace", false, "counters: attach a protocol trace ring and print its census, tail and drop count")
+	profileOn := fs.Bool("profile", false, "counters/faults: attach the virtual-time profiler and print each cell's profile block")
+	top := fs.Int("top", 5, "profile: rows shown in the hot-page/lock-contention/epoch tables")
 	planSpec := fs.String("plan", "", `faults: fault plan, e.g. "send:p=0.05;detach:node=1,at=5ms"`)
 	seed := fs.Uint64("seed", 1, "faults: deterministic injection seed")
 	contended := fs.Bool("contended-sync", false,
@@ -80,6 +92,12 @@ func main() {
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
+	outSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "o" {
+			outSet = true
+		}
+	})
 
 	sc := bench.Scale(*scale)
 	if sc != bench.ScaleTest && sc != bench.ScalePaper {
@@ -130,7 +148,30 @@ func main() {
 			}
 		}
 	case "counters":
-		runCounters(w, appList, procList, sc, costs, *jobs, *traceOn, wopts)
+		runCounters(w, appList, procList, sc, costs, *jobs, *traceOn, *profileOn, *top, wopts)
+	case "profile":
+		cells := bench.RunProfile(w, appList, procList, sc, costs, *jobs, *top, wopts)
+		if outSet {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cablesim: profile: %v\n", err)
+				os.Exit(1)
+			}
+			werr := profile.WriteTrace(f, bench.TraceCells(cells))
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintf(os.Stderr, "cablesim: profile: writing %s: %v\n", *out, werr)
+				os.Exit(1)
+			}
+			fmt.Fprintf(w, "wrote %s\n", *out)
+		}
+		for i := range cells {
+			if cells[i].Err != nil {
+				os.Exit(1)
+			}
+		}
 	case "faults":
 		if *planSpec == "" {
 			fmt.Fprintln(os.Stderr, "cablesim: faults needs -plan (see internal/fault for the spec language)")
@@ -141,7 +182,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cablesim: %v\n", err)
 			os.Exit(2)
 		}
-		bench.RunFaults(w, plan, *seed, appList, procList, sc, costs, *jobs)
+		profTop := 0
+		if *profileOn {
+			profTop = *top
+		}
+		bench.RunFaults(w, plan, *seed, appList, procList, sc, costs, *jobs, profTop)
 	case "all":
 		bench.Table3(w)
 		bench.Table4(w)
@@ -164,8 +209,9 @@ func main() {
 // also carries a protocol trace ring whose per-kind census, recent tail,
 // and dropped-event count are appended to the block (the ring is bounded:
 // a non-zero dropped count means the census covers only the retained
-// suffix).
-func runCounters(w *os.File, apps []string, procs []int, sc bench.Scale, costs *sim.Costs, jobs int, traceOn bool, wopts wire.Options) {
+// suffix).  With profileOn, each run also carries the virtual-time profiler
+// and its profile block (top rows per table) is appended.
+func runCounters(w *os.File, apps []string, procs []int, sc bench.Scale, costs *sim.Costs, jobs int, traceOn, profileOn bool, top int, wopts wire.Options) {
 	if len(apps) == 0 {
 		apps = bench.AppNames
 	}
@@ -188,13 +234,24 @@ func runCounters(w *os.File, apps []string, procs []int, sc bench.Scale, costs *
 	blocks := make([]string, len(specs))
 	errs := bench.RunCells(jobs, len(specs), func(i int) {
 		s := specs[i]
-		if traceOn {
-			res, ctr, ring, err := bench.RunAppTracedWire(s.app, s.backend, s.procs, sc, costs, 4096, wopts)
+		if traceOn || profileOn {
+			ringCap := -1
+			if traceOn {
+				ringCap = 4096
+			}
+			res, ctr, ring, prof, err := bench.RunAppObservedWire(s.app, s.backend, s.procs, sc, costs, ringCap, profileOn, wopts)
 			if err != nil {
 				blocks[i] = fmt.Sprintf("%s/%s p=%d: FAILED: %v\n", s.app, s.backend, s.procs, err)
 				return
 			}
-			blocks[i] = fmt.Sprintf("%s\n  %s\n%s", res, ctr, traceBlock(ring))
+			block := fmt.Sprintf("%s\n  %s\n", res, ctr)
+			if ring != nil {
+				block += traceBlock(ring)
+			}
+			if prof != nil {
+				block += bench.ProfileBlock(profile.Build(prof.Logs()), prof.Epochs.Windows(), top)
+			}
+			blocks[i] = block
 			return
 		}
 		res, ctr, err := bench.RunAppCountersWire(s.app, s.backend, s.procs, sc, costs, wopts)
@@ -263,8 +320,9 @@ func parseInts(s string) []int {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: cablesim <table3|counters|table4|table5|table6|fig5|fig6|fig5+6|limits|hostperf|faults|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: cablesim <table3|counters|table4|table5|table6|fig5|fig6|fig5+6|limits|hostperf|faults|profile|all> [flags]
 flags: -scale test|paper  -apps A,B  -procs 1,4,8  -gran bytes  -jobs N  -o report.json  -compare old.json
-       -trace (counters)  -plan "send:p=0.05;detach:node=1,at=5ms" -seed N (faults)
+       -trace -profile (counters)  -plan "send:p=0.05;detach:node=1,at=5ms" -seed N -profile (faults)
+       -top N -o trace.json (profile: Perfetto/Chrome trace-viewer timeline)
        -contended-sync -coalesce (fig5/fig6/counters wire-plane modes)`)
 }

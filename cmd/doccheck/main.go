@@ -8,7 +8,11 @@
 //     directory that exists in the repository;
 //   - no non-test code outside the communication substrate (internal/wire,
 //     internal/vmmc) may charge CatComm directly — all cross-node traffic
-//     must flow through the wire plane's choke point.
+//     must flow through the wire plane's choke point;
+//   - every observability name the code defines — stats event keys, trace
+//     event kinds, profiler span and mark names — must appear backquoted in
+//     a docs/OBSERVABILITY.md inventory table, so adding an event without
+//     documenting it fails CI.
 //
 // It walks the tree rooted at the optional -root flag (default ".") and
 // exits non-zero listing every violation, so CI can gate on it
@@ -53,6 +57,13 @@ func main() {
 		os.Exit(2)
 	}
 	problems = append(problems, commProblems...)
+
+	invProblems, err := checkObservabilityInventory(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		os.Exit(2)
+	}
+	problems = append(problems, invProblems...)
 
 	if len(problems) > 0 {
 		sort.Strings(problems)
@@ -184,6 +195,125 @@ func checkCommCharges(root string) ([]string, error) {
 		return nil
 	})
 	return problems, err
+}
+
+// backtick matches a backquoted inline-code token in markdown.
+var backtick = regexp.MustCompile("`([^`]+)`")
+
+// quoted matches a double-quoted Go string literal (no escapes — the
+// inventory names are plain identifiers).
+var quoted = regexp.MustCompile(`"([^"\\]+)"`)
+
+// sliceLiteral extracts the quoted strings from a `var <name> = [...]...{`
+// composite literal in a Go source file: everything between the opening
+// brace after the declaration and the first closing brace.
+func sliceLiteral(path, name string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	src := string(data)
+	i := strings.Index(src, "var "+name+" = [")
+	if i < 0 {
+		return nil, fmt.Errorf("%s: declaration of %s not found", path, name)
+	}
+	src = src[i:]
+	open := strings.IndexByte(src, '{')
+	close := strings.IndexByte(src, '}')
+	if open < 0 || close < open {
+		return nil, fmt.Errorf("%s: malformed literal for %s", path, name)
+	}
+	var names []string
+	for _, m := range quoted.FindAllStringSubmatch(src[open:close], -1) {
+		names = append(names, m[1])
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%s: no names in literal for %s", path, name)
+	}
+	return names, nil
+}
+
+// constStrings extracts the values of string constants of the given type,
+// declared in the `<Name>  Type = "value"` form.
+func constStrings(path, typeName string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	re := regexp.MustCompile(`\b` + typeName + `\s*=\s*"([^"\\]+)"`)
+	var names []string
+	for _, m := range re.FindAllStringSubmatch(string(data), -1) {
+		names = append(names, m[1])
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%s: no %s string constants found", path, typeName)
+	}
+	return names, nil
+}
+
+// checkObservabilityInventory keeps docs/OBSERVABILITY.md's inventory
+// tables in lock-step with the code: every stats event key, trace event
+// kind, and profiler span/mark name defined in the source must appear as a
+// backquoted token in a table row of the doc.  Adding an event without
+// documenting it is a CI failure, so the inventories cannot drift.
+func checkObservabilityInventory(root string) ([]string, error) {
+	docPath := filepath.Join(root, "docs", "OBSERVABILITY.md")
+	data, err := os.ReadFile(docPath)
+	if err != nil {
+		return nil, err
+	}
+	documented := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(strings.TrimSpace(line), "|") {
+			continue
+		}
+		for _, m := range backtick.FindAllStringSubmatch(line, -1) {
+			documented[m[1]] = true
+		}
+	}
+
+	type group struct {
+		what  string
+		src   string
+		names []string
+	}
+	var groups []group
+
+	statsKeys, err := sliceLiteral(filepath.Join(root, "internal", "stats", "stats.go"), "eventKeys")
+	if err != nil {
+		return nil, err
+	}
+	groups = append(groups, group{"stats event key", "internal/stats/stats.go", statsKeys})
+
+	traceKinds, err := constStrings(filepath.Join(root, "internal", "trace", "trace.go"), "Kind")
+	if err != nil {
+		return nil, err
+	}
+	groups = append(groups, group{"trace event kind", "internal/trace/trace.go", traceKinds})
+
+	spanNames, err := sliceLiteral(filepath.Join(root, "internal", "profile", "profile.go"), "spanNames")
+	if err != nil {
+		return nil, err
+	}
+	groups = append(groups, group{"profiler span kind", "internal/profile/profile.go", spanNames})
+
+	markNames, err := sliceLiteral(filepath.Join(root, "internal", "profile", "profile.go"), "markNames")
+	if err != nil {
+		return nil, err
+	}
+	groups = append(groups, group{"profiler mark kind", "internal/profile/profile.go", markNames})
+
+	var problems []string
+	for _, g := range groups {
+		for _, name := range g.names {
+			if !documented[name] {
+				problems = append(problems, fmt.Sprintf(
+					"%s: %s %q (defined in %s) missing from the inventory tables",
+					docPath, g.what, name, g.src))
+			}
+		}
+	}
+	return problems, nil
 }
 
 // mdLink matches the target of an inline markdown link: ](target).

@@ -1,0 +1,134 @@
+// Command traceck validates an exported profiler timeline (the Chrome
+// trace-viewer / Perfetto JSON that `cablesim profile -o` writes), using
+// only the standard library.  It is the teeth behind `make profile-smoke`:
+//
+//   - the file must be a well-formed JSON object with "displayTimeUnit"
+//     and a non-empty "traceEvents" array;
+//   - every event must carry a known phase ("M" metadata, "X" complete
+//     span, "i" instant) and a name;
+//   - complete spans must have non-negative durations and must nest
+//     properly per (pid, tid) thread lane — a span may not straddle its
+//     parent's close, which is exactly the property Perfetto's flame view
+//     relies on;
+//   - every thread lane with spans must start with a root that contains
+//     all later spans on that lane (the profiler's task `run` span).
+//
+// Usage: traceck [file]   (default trace.json).  Exits non-zero listing
+// every violation.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+type event struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+}
+
+type document struct {
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+	TraceEvents     []event `json:"traceEvents"`
+}
+
+// ns converts a trace timestamp (microseconds, possibly with float noise
+// from the export's ns→µs division) back to exact integer nanoseconds.
+func ns(us float64) int64 { return int64(math.Round(us * 1e3)) }
+
+func main() {
+	path := "trace.json"
+	if len(os.Args) > 1 {
+		path = os.Args[1]
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "traceck: %v\n", err)
+		os.Exit(2)
+	}
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fmt.Fprintf(os.Stderr, "traceck: %s: not valid JSON: %v\n", path, err)
+		os.Exit(1)
+	}
+
+	var problems []string
+	badf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	if doc.DisplayTimeUnit == "" {
+		badf("missing displayTimeUnit")
+	}
+	if len(doc.TraceEvents) == 0 {
+		badf("traceEvents is empty")
+	}
+
+	type iv struct {
+		s, e int64
+		name string
+	}
+	spans := map[[2]int][]iv{}
+	var nSpans, nMeta, nInstants int
+	for i, e := range doc.TraceEvents {
+		if e.Name == "" {
+			badf("event %d: empty name", i)
+		}
+		switch e.Ph {
+		case "M":
+			nMeta++
+		case "i":
+			nInstants++
+		case "X":
+			nSpans++
+			if e.Dur < 0 {
+				badf("event %d (%s): negative dur %v", i, e.Name, e.Dur)
+				continue
+			}
+			key := [2]int{e.Pid, e.Tid}
+			spans[key] = append(spans[key], iv{ns(e.Ts), ns(e.Ts + e.Dur), e.Name})
+		default:
+			badf("event %d (%s): unknown phase %q", i, e.Name, e.Ph)
+		}
+	}
+
+	// Spans are exported in open order per thread; walking them with a
+	// containment stack proves proper nesting.
+	for key, ivs := range spans {
+		root := ivs[0]
+		var stack []iv
+		for _, cur := range ivs {
+			if cur.s < root.s || cur.e > root.e {
+				badf("lane pid=%d tid=%d: span %s [%d,%d] escapes root %s [%d,%d]",
+					key[0], key[1], cur.name, cur.s, cur.e, root.name, root.s, root.e)
+				break
+			}
+			for len(stack) > 0 && cur.s >= stack[len(stack)-1].e {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) > 0 && cur.e > stack[len(stack)-1].e {
+				top := stack[len(stack)-1]
+				badf("lane pid=%d tid=%d: span %s [%d,%d] overlaps parent %s [%d,%d]",
+					key[0], key[1], cur.name, cur.s, cur.e, top.name, top.s, top.e)
+				break
+			}
+			stack = append(stack, cur)
+		}
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintf(os.Stderr, "traceck: %s: %s\n", path, p)
+		}
+		fmt.Fprintf(os.Stderr, "traceck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Printf("traceck: %s ok (%d spans, %d instants, %d metadata, %d thread lanes)\n",
+		path, nSpans, nInstants, nMeta, len(spans))
+}

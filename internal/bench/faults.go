@@ -9,6 +9,7 @@ import (
 	"cables/internal/fault"
 	"cables/internal/genima"
 	"cables/internal/m4"
+	"cables/internal/profile"
 	"cables/internal/sim"
 	"cables/internal/stats"
 	"cables/internal/trace"
@@ -88,6 +89,9 @@ type FaultCell struct {
 	Res      appapi.Result
 	Ctr      *stats.Counters
 	Injected int64 // fault firings observed by the cell's injector
+	Dropped  int64 // trace events the cell's ring overwrote
+	Report   *profile.Report
+	Windows  []stats.EpochWindow
 	Err      error
 }
 
@@ -104,8 +108,10 @@ var faultEvents = []stats.Event{
 // faults fired during it, FAILED only when the run did not complete, and a
 // bare time when the plan never triggered in that cell.  Every cell gets
 // its own injector built from the same plan+seed, so cells are independent
-// and the whole table is reproducible from (plan, seed).
-func RunFaults(w io.Writer, plan fault.Plan, seed uint64, apps []string, procs []int, scale Scale, costs *sim.Costs, jobs int) *stats.Table {
+// and the whole table is reproducible from (plan, seed).  profTop > 0
+// attaches a profiler to every cell and appends its profile block (top
+// profTop rows) under the cell's census.
+func RunFaults(w io.Writer, plan fault.Plan, seed uint64, apps []string, procs []int, scale Scale, costs *sim.Costs, jobs, profTop int) *stats.Table {
 	if len(apps) == 0 {
 		apps = AppNames
 	}
@@ -117,8 +123,19 @@ func RunFaults(w io.Writer, plan fault.Plan, seed uint64, apps []string, procs [
 	errs := RunCells(jobs, len(specs), func(i int) {
 		s := specs[i]
 		inj := fault.New(plan, seed)
-		res, ctr, _, err := RunAppFault(s.app, s.backend, s.procs, scale, costs, inj, 0)
-		cells[i] = FaultCell{Res: res, Ctr: ctr, Injected: inj.Injected(), Err: err}
+		c := &cells[i]
+		if profTop > 0 {
+			res, ctr, ring, prof, err := RunAppFaultProfiled(s.app, s.backend, s.procs, scale, costs, inj, 0)
+			c.Res, c.Ctr, c.Err = res, ctr, err
+			c.Dropped = ring.Dropped()
+			c.Report = profile.Build(prof.Logs())
+			c.Windows = prof.Epochs.Windows()
+		} else {
+			res, ctr, ring, err := RunAppFault(s.app, s.backend, s.procs, scale, costs, inj, 0)
+			c.Res, c.Ctr, c.Err = res, ctr, err
+			c.Dropped = ring.Dropped()
+		}
+		c.Injected = inj.Injected()
 	})
 
 	header := []string{"Application", "System"}
@@ -166,8 +183,12 @@ func RunFaults(w io.Writer, plan fault.Plan, seed uint64, apps []string, procs [
 							line += fmt.Sprintf(" %s=%d", e, v)
 						}
 					}
-					if line != "" {
-						fprintf(w, "%s/%s p=%d:%s\n", app, backend, p, line)
+					// Ring truncation rides every census: a quiet cell still
+					// reports dropped=0, and an overwritten ring is never
+					// silently passed off as complete.
+					fprintf(w, "%s/%s p=%d:%s dropped=%d\n", app, backend, p, line, c.Dropped)
+					if c.Report != nil {
+						fprintf(w, "%s", ProfileBlock(c.Report, c.Windows, profTop))
 					}
 				}
 			}

@@ -146,7 +146,7 @@ func TestDetachCompletesDegraded(t *testing.T) {
 func TestRunFaultsRendersDegraded(t *testing.T) {
 	var b strings.Builder
 	plan := fault.MustParsePlan("send:p=0.2;detach:node=1,at=2ms")
-	RunFaults(&b, plan, 7, []string{"FFT"}, []int{4}, ScaleTest, nil, 2)
+	RunFaults(&b, plan, 7, []string{"FFT"}, []int{4}, ScaleTest, nil, 2, 0)
 	out := b.String()
 	if strings.Contains(out, "FAILED") {
 		t.Errorf("faulted sweep failed a cell:\n%s", out)
@@ -156,6 +156,9 @@ func TestRunFaultsRendersDegraded(t *testing.T) {
 	}
 	if !strings.Contains(out, "nodeDetaches=1") {
 		t.Errorf("per-cell fault counters missing:\n%s", out)
+	}
+	if !strings.Contains(out, "dropped=") {
+		t.Errorf("census line does not surface ring truncation:\n%s", out)
 	}
 	if !strings.Contains(out, fmt.Sprintf("seed %d", 7)) || !strings.Contains(out, plan.String()) {
 		t.Errorf("header does not identify plan+seed:\n%s", out)

@@ -13,13 +13,20 @@ import (
 // the pre-plane inline sequence (the Derived["wire_plane_overhead"] ratio).
 const maxWirePlaneOverhead = 0.02
 
+// maxProfileOverhead is the comparison gate on the profiler's detached
+// probe cost: an uninstrumented run may pay at most 0.5% of one flush
+// operation per span site (the Derived["profile_overhead"] ratio) — with
+// no profiler attached, OpenSpan/CloseSpan must stay a nil check.
+const maxProfileOverhead = 0.005
+
 // Compare prints a benchstat-style delta table of two reports: per
 // benchmark, old and new ns/op and allocs/op with the relative change.
 // Benchmarks present in only one report are listed with "-" on the missing
 // side, so renamed or added cases are visible rather than silently dropped.
-// It returns an error when the new report violates a perf guard — currently
-// wire_plane_overhead exceeding maxWirePlaneOverhead — so `cablesim
-// hostperf -compare` fails loudly on a choke-point regression.
+// It returns an error when the new report violates a perf guard —
+// wire_plane_overhead exceeding maxWirePlaneOverhead, profile_overhead
+// exceeding maxProfileOverhead, or any allocation on the wire fast path —
+// so `cablesim hostperf -compare` fails loudly on a choke-point regression.
 func Compare(w io.Writer, old, cur Report) error {
 	names := make(map[string]bool, len(old.Benchmarks)+len(cur.Benchmarks))
 	for n := range old.Benchmarks {
@@ -58,6 +65,13 @@ func Compare(w io.Writer, old, cur Report) error {
 	if ov, ok := cur.Derived["wire_plane_overhead"]; ok && ov > maxWirePlaneOverhead {
 		return fmt.Errorf("wire_plane_overhead %.4f exceeds the %.0f%% gate: Plane.Do dispatch has regressed",
 			ov, maxWirePlaneOverhead*100)
+	}
+	if ov, ok := cur.Derived["profile_overhead"]; ok && ov > maxProfileOverhead {
+		return fmt.Errorf("profile_overhead %.4f exceeds the %.1f%% gate: the detached span probe is no longer free",
+			ov, maxProfileOverhead*100)
+	}
+	if n, ok := cur.Derived["wire_do_allocs_per_op"]; ok && n > 0 {
+		return fmt.Errorf("wire/do allocates (%.0f allocs/op): the wire fast path must stay allocation-free", n)
 	}
 	return nil
 }

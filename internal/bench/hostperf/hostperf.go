@@ -55,6 +55,8 @@ func Cases() []Case {
 		{"acquire", Acquire},
 		{"wire/do", WireDo},
 		{"wire/direct", WireDirect},
+		{"profile/detached", ProfileDetached},
+		{"profile/attached", ProfileAttached},
 		{"e2e/fft", E2EFFT},
 		{"e2e/ocean", E2EOcean},
 	}
@@ -333,7 +335,14 @@ func Run() Report {
 			delta = 0
 		}
 		rep.Derived["wire_plane_overhead"] = delta / fl
+		// Detached profiler probe cost at a span site, relative to the same
+		// flush yardstick.  Compare gates on this staying under 0.5%: with no
+		// profiler attached the probes must be invisible.
+		rep.Derived["profile_overhead"] = rep.Benchmarks["profile/detached"].NsPerOp / fl
 	}
+	// The wire fast path must stay allocation-free whether or not a
+	// profiler/ring is attached; Compare gates this at exactly zero.
+	rep.Derived["wire_do_allocs_per_op"] = float64(rep.Benchmarks["wire/do"].AllocsPerOp)
 	rep.Derived["flush_allocs_per_op"] = float64(rep.Benchmarks["flush"].AllocsPerOp)
 	rep.Derived["flush_bytes_per_op"] = float64(rep.Benchmarks["flush"].BytesPerOp)
 	rep.Derived["acquire_allocs_per_op"] = float64(rep.Benchmarks["acquire"].AllocsPerOp)

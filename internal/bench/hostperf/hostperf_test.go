@@ -54,6 +54,59 @@ func TestCompareGatesWirePlaneOverhead(t *testing.T) {
 	}
 }
 
+// TestCompareGatesProfileOverhead: the profiler's detached-probe gate —
+// a report whose profile_overhead exceeds 0.5% of a flush, or whose wire
+// fast path allocates, makes Compare return an error.
+func TestCompareGatesProfileOverhead(t *testing.T) {
+	old := Report{Benchmarks: map[string]Metric{}, Derived: map[string]float64{}}
+	ok := Report{Benchmarks: map[string]Metric{},
+		Derived: map[string]float64{"profile_overhead": 0.001, "wire_do_allocs_per_op": 0}}
+	var buf bytes.Buffer
+	if err := Compare(&buf, old, ok); err != nil {
+		t.Fatalf("overhead under the gate rejected: %v", err)
+	}
+	slow := Report{Benchmarks: map[string]Metric{},
+		Derived: map[string]float64{"profile_overhead": 0.02}}
+	if err := Compare(&buf, old, slow); err == nil {
+		t.Fatal("2% detached-probe overhead passed the 0.5% gate")
+	}
+	leaky := Report{Benchmarks: map[string]Metric{},
+		Derived: map[string]float64{"wire_do_allocs_per_op": 1}}
+	if err := Compare(&buf, old, leaky); err == nil {
+		t.Fatal("an allocating wire fast path passed the zero-alloc gate")
+	}
+}
+
+// TestProfileOverheadSmall runs the detached-probe and flush benchmarks on
+// this host and checks the derived ratio stays under the gate, and that
+// both the detached probe site and the wire fast path are allocation-free.
+func TestProfileOverheadSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmarks under -short")
+	}
+	rep := Report{Benchmarks: map[string]Metric{}, Derived: map[string]float64{}}
+	for _, c := range Cases() {
+		switch c.Name {
+		case "flush", "profile/detached", "wire/do":
+			r := testing.Benchmark(c.Fn)
+			rep.Benchmarks[c.Name] = Metric{
+				NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp(), N: r.N}
+		}
+	}
+	ov := rep.Benchmarks["profile/detached"].NsPerOp / rep.Benchmarks["flush"].NsPerOp
+	if ov > maxProfileOverhead {
+		t.Errorf("detached profiler probe overhead %.4f exceeds the %.3f gate (probe %.1fns, flush %.1fns)",
+			ov, maxProfileOverhead, rep.Benchmarks["profile/detached"].NsPerOp,
+			rep.Benchmarks["flush"].NsPerOp)
+	}
+	if n := rep.Benchmarks["profile/detached"].AllocsPerOp; n != 0 {
+		t.Errorf("detached probe allocates: %d allocs/op", n)
+	}
+	if n := rep.Benchmarks["wire/do"].AllocsPerOp; n != 0 {
+		t.Errorf("wire/do allocates: %d allocs/op", n)
+	}
+}
+
 // TestWirePlaneOverheadSmall runs just the three relevant benchmarks once
 // each and checks the derived ratio stays under the gate on this host: the
 // choke point must cost a negligible fraction of a real protocol op.

@@ -1,0 +1,37 @@
+package hostperf
+
+import (
+	"testing"
+
+	"cables/internal/profile"
+	"cables/internal/sim"
+)
+
+// ProfileDetached measures an instrumented span site with no profiler
+// attached: one OpenSpan/CloseSpan pair on a probe-less task, i.e. two nil
+// checks.  This is the cost every probe site adds to an unprofiled run;
+// the profile_overhead derived metric expresses it relative to one flush
+// operation and Compare gates it at 0.5%.
+func ProfileDetached(b *testing.B) {
+	task := sim.NewTask(1, 0, sim.DefaultCosts())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		task.OpenSpan(uint8(profile.SpanFault), uint64(i))
+		task.CloseSpan()
+	}
+}
+
+// ProfileAttached measures the same site with a profiler adopted: span
+// append plus a breakdown snapshot on open and on close.  Informational,
+// not gated — this cost is paid only in runs that asked for a profile.
+func ProfileAttached(b *testing.B) {
+	task := sim.NewTask(1, 0, sim.DefaultCosts())
+	profile.New().Adopt(task)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		task.OpenSpan(uint8(profile.SpanFault), uint64(i))
+		task.CloseSpan()
+	}
+}

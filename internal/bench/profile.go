@@ -1,0 +1,220 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"cables/internal/apps/appapi"
+	"cables/internal/fault"
+	"cables/internal/profile"
+	"cables/internal/sim"
+	"cables/internal/stats"
+	"cables/internal/trace"
+	"cables/internal/wire"
+)
+
+// AttachProfiler wires a fresh virtual-time profiler to a runtime: every
+// task the cluster creates from here on is adopted (nodeos.Cluster.Prof),
+// the already-existing main task is adopted explicitly, and a
+// stats.EpochLog snapshots the counters at every barrier release.  This is
+// the single attach point, next to AttachRing; call it before the run
+// starts.  Attaching records spans and charges nothing — the invariance
+// rule — so results are bit-identical with and without a profiler.
+func AttachProfiler(rt appapi.Runtime) *profile.Profiler {
+	prof := profile.New()
+	cl := rt.Cluster()
+	cl.Prof = prof
+	prof.Adopt(rt.Main())
+	prof.Epochs = stats.NewEpochLog(cl.Ctr)
+	if p := protocolOf(rt); p != nil {
+		p.Epochs = prof.Epochs
+	}
+	return prof
+}
+
+// RunAppProfiled runs an application with a profiler attached, returning
+// the result, the counters, and the profiler (read logs after the run).
+func RunAppProfiled(name, backend string, procs int, scale Scale, costs *sim.Costs) (appapi.Result, *stats.Counters, *profile.Profiler, error) {
+	return RunAppProfiledWire(name, backend, procs, scale, costs, wire.Options{})
+}
+
+// RunAppProfiledWire is RunAppProfiled with explicit wire-plane options.
+func RunAppProfiledWire(name, backend string, procs int, scale Scale, costs *sim.Costs, w wire.Options) (appapi.Result, *stats.Counters, *profile.Profiler, error) {
+	rt := NewRuntimeWire(backend, procs, 256<<20, costs, w)
+	prof := AttachProfiler(rt)
+	res, err := runAppOn(rt, name, scale)
+	return res, rt.Cluster().Ctr, prof, err
+}
+
+// RunAppObservedWire runs an application with any combination of observers
+// attached: ringCap >= 0 attaches a trace ring of that capacity (0 = the
+// ring's default), withProf a profiler.  The unused returns are nil.
+func RunAppObservedWire(name, backend string, procs int, scale Scale, costs *sim.Costs, ringCap int, withProf bool, w wire.Options) (appapi.Result, *stats.Counters, *trace.Ring, *profile.Profiler, error) {
+	rt := NewRuntimeWire(backend, procs, 256<<20, costs, w)
+	var ring *trace.Ring
+	if ringCap >= 0 {
+		ring = AttachRing(rt, ringCap)
+	}
+	var prof *profile.Profiler
+	if withProf {
+		prof = AttachProfiler(rt)
+	}
+	res, err := runAppOn(rt, name, scale)
+	return res, rt.Cluster().Ctr, ring, prof, err
+}
+
+// RunAppFaultProfiled is RunAppFault with a profiler attached as well.
+func RunAppFaultProfiled(name, backend string, procs int, scale Scale, costs *sim.Costs, inj *fault.Injector, ringCap int) (appapi.Result, *stats.Counters, *trace.Ring, *profile.Profiler, error) {
+	rt := NewFaultRuntime(backend, procs, 256<<20, costs, inj)
+	ring := AttachRing(rt, ringCap)
+	prof := AttachProfiler(rt)
+	res, err := runAppOn(rt, name, scale)
+	return res, rt.Cluster().Ctr, ring, prof, err
+}
+
+// ProfileCell is one (app, procs, backend) outcome of a profiled sweep.
+type ProfileCell struct {
+	App     string
+	Backend string
+	Procs   int
+	Res     appapi.Result
+	Report  *profile.Report
+	Logs    []*profile.TaskLog
+	Windows []stats.EpochWindow
+	Err     error
+}
+
+// Label renders the cell in the harness's usual "APP/backend p=N" shape.
+func (c *ProfileCell) Label() string {
+	return fmt.Sprintf("%s/%s p=%d", c.App, c.Backend, c.Procs)
+}
+
+// RunProfile runs the profiled sweep (`cablesim profile`): every cell gets
+// a profiler, and its category roll-up, hot-page and lock-contention
+// tables, and per-barrier-epoch counter windows print per cell.  top
+// bounds the hot-page/lock/epoch rows (<=0 means the default 5).  The
+// returned cells carry the task logs for a timeline export
+// (profile.WriteTrace).
+func RunProfile(w io.Writer, apps []string, procs []int, scale Scale, costs *sim.Costs, jobs, top int, wopts wire.Options) []ProfileCell {
+	if len(apps) == 0 {
+		apps = AppNames
+	}
+	if len(procs) == 0 {
+		procs = []int{8}
+	}
+	cells := make([]ProfileCell, 0, len(apps)*len(procs)*2)
+	for _, app := range apps {
+		for _, p := range procs {
+			for _, backend := range []string{BackendGenima, BackendCables} {
+				cells = append(cells, ProfileCell{App: app, Backend: backend, Procs: p})
+			}
+		}
+	}
+	errs := RunCells(jobs, len(cells), func(i int) {
+		c := &cells[i]
+		res, _, prof, err := RunAppProfiledWire(c.App, c.Backend, c.Procs, scale, costs, wopts)
+		c.Res, c.Err = res, err
+		c.Logs = prof.Logs()
+		c.Report = profile.Build(c.Logs)
+		c.Windows = prof.Epochs.Windows()
+	})
+	for i := range cells {
+		c := &cells[i]
+		if c.Err == nil && errs[i] != nil {
+			c.Err = errs[i]
+		}
+		if w == nil {
+			continue
+		}
+		if c.Err != nil {
+			fprintf(w, "%s: FAILED: %v\n", c.Label(), c.Err)
+			continue
+		}
+		fprintf(w, "%s\n%s", c.Res, ProfileBlock(c.Report, c.Windows, top))
+	}
+	return cells
+}
+
+// ProfileBlock renders one cell's profile: the per-span-kind category
+// roll-up with its reconciliation check, the hottest pages, the most
+// contended locks, and the per-barrier-epoch counter windows.  Shared by
+// `cablesim profile` and the -profile flag on counters/faults.
+func ProfileBlock(r *profile.Report, windows []stats.EpochWindow, top int) string {
+	if top <= 0 {
+		top = 5
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "  profile: tasks=%d spans=%d", len(r.Tasks), spanCount(r))
+	if r.Anomalies > 0 {
+		fmt.Fprintf(&b, " anomalies=%d", r.Anomalies)
+	}
+	b.WriteByte('\n')
+
+	total := r.Total.Total()
+	for k := 0; k < profile.NumSpanKinds; k++ {
+		kt := &r.Kinds[k]
+		if kt.Count == 0 {
+			continue
+		}
+		self := kt.Self.Total()
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(self) / float64(total)
+		}
+		fmt.Fprintf(&b, "    %-8s n=%-7d self=%-10v %5.1f%%  [%s]\n",
+			profile.SpanKind(k), kt.Count, self, share, kt.Self)
+	}
+	sum := r.KindSum()
+	status := "ok"
+	if sum != r.Total {
+		status = fmt.Sprintf("MISMATCH spans=%v", sum)
+	}
+	fmt.Fprintf(&b, "  reconcile: tasks=%v spans=%v %s\n", r.Total.Total(), sum.Total(), status)
+
+	if n := min(top, len(r.Pages)); n > 0 {
+		fmt.Fprintf(&b, "  hot pages (top %d of %d, fault stall %v):\n", n, len(r.Pages), r.FaultTime())
+		for _, ps := range r.Pages[:n] {
+			fmt.Fprintf(&b, "    page=0x%-6x faults=%-5d fills=%-5d diffs=%-5d migrations=%-3d stall=%-10v max=%v\n",
+				ps.Page, ps.Faults, ps.Fills, ps.Diffs, ps.Migrations, ps.Stall, ps.MaxStall)
+		}
+	}
+	if n := min(top, len(r.Locks)); n > 0 {
+		fmt.Fprintf(&b, "  locks (top %d of %d):\n", n, len(r.Locks))
+		for _, ls := range r.Locks[:n] {
+			fmt.Fprintf(&b, "    lock=%-6d acq=%-5d contended=%-5d remote=%-5d wait=%-10v (transfer=%v holdblk=%v max=%v) hold=%v\n",
+				ls.Lock, ls.Acquires, ls.Contended, ls.Remote, ls.Wait,
+				ls.Transfer, ls.HoldBlocked, ls.MaxWait, ls.Hold)
+		}
+	}
+	if len(windows) > 0 {
+		n := min(top, len(windows))
+		fmt.Fprintf(&b, "  epochs (%d; first %d):\n", len(windows), n)
+		for _, ep := range windows[:n] {
+			fmt.Fprintf(&b, "    %-12s @%-10v %s\n", ep.Label, sim.Time(ep.At), ep.Delta)
+		}
+	}
+	return b.String()
+}
+
+func spanCount(r *profile.Report) int {
+	n := 0
+	for i := range r.Kinds {
+		n += r.Kinds[i].Count
+	}
+	return n
+}
+
+// TraceCells converts profiled sweep cells into the exporter's shape,
+// skipping failed cells.
+func TraceCells(cells []ProfileCell) []profile.TraceCell {
+	out := make([]profile.TraceCell, 0, len(cells))
+	for i := range cells {
+		c := &cells[i]
+		if c.Err != nil || len(c.Logs) == 0 {
+			continue
+		}
+		out = append(out, profile.TraceCell{Label: c.Label(), Logs: c.Logs})
+	}
+	return out
+}

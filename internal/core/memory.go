@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"cables/internal/memsys"
+	"cables/internal/profile"
 	"cables/internal/sim"
 	"cables/internal/stats"
 	"cables/internal/vmmc"
@@ -296,6 +297,8 @@ func (m *MemManager) MigratePage(t *sim.Task, pid memsys.PageID, dst int) {
 	if src == dst || src < 0 {
 		return
 	}
+	t.OpenSpan(uint8(profile.SpanMigrate), uint64(pid))
+	defer t.CloseSpan()
 	sc := m.sp.Copy(src, pid)
 	dc := m.sp.Copy(dst, pid)
 	sc.Mu.Lock()

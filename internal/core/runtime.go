@@ -26,6 +26,7 @@ import (
 	"cables/internal/genima"
 	"cables/internal/memsys"
 	"cables/internal/nodeos"
+	"cables/internal/profile"
 	"cables/internal/sim"
 	"cables/internal/stats"
 	"cables/internal/wire"
@@ -114,6 +115,7 @@ type ACB struct {
 	rrNode     int
 	endMax     sim.Time
 	nextLockID int
+	nextCondID int
 	nextKey    int
 }
 
@@ -223,6 +225,8 @@ func (rt *Runtime) chargeAdmin(t *sim.Task) {
 // memory, and the master broadcasts its existence (§2.2 case ii).
 // Caller must NOT hold acb.mu.
 func (rt *Runtime) attachNode(t *sim.Task, node int) {
+	t.OpenSpan(uint8(profile.SpanAttach), uint64(node))
+	defer t.CloseSpan()
 	c := rt.cl.Costs
 	// A fault plan may delay the node's boot; the attaching thread blocks
 	// for the extra latency before the normal attach sequence begins.
@@ -324,6 +328,8 @@ func (rt *Runtime) Create(parent *sim.Task, fn func(th *Thread)) *Thread {
 	rt.proto.Flush(parent)
 	c := rt.cl.Costs
 	node, needAttach := rt.pickNode(parent.Now())
+	parent.OpenSpan(uint8(profile.SpanCreate), uint64(node))
+	defer parent.CloseSpan()
 	if needAttach {
 		rt.acb.mu.Lock()
 		rt.acb.attached[node] = false // attachNode re-marks under its own charges
@@ -477,6 +483,16 @@ func (rt *Runtime) newLockID() int {
 	defer a.mu.Unlock()
 	a.nextLockID++
 	return a.nextLockID
+}
+
+// newCondID allocates a cluster-wide condition-variable identifier (used
+// only to key the profiler's cond-wait spans; see Cond.id).
+func (rt *Runtime) newCondID() int {
+	a := rt.acb
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.nextCondID++
+	return a.nextCondID
 }
 
 func errf(format string, args ...any) error { return fmt.Errorf(format, args...) }

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"cables/internal/memsys"
+	"cables/internal/profile"
 	"cables/internal/sim"
 	"cables/internal/stats"
 	"cables/internal/wire"
@@ -43,6 +44,10 @@ type condWaiter struct {
 // on an OS event when their node is oversubscribed (Karlin et al. [22]).
 type Cond struct {
 	rt *Runtime
+	// id keys the profiler's cond-wait spans.  It comes from its own ACB
+	// counter (not newLockID: lock ids are wire-op payload, and sharing the
+	// sequence would shift them and the trace checksums they pin).
+	id int
 
 	mu      sync.Mutex
 	waiters []*condWaiter
@@ -51,7 +56,7 @@ type Cond struct {
 // NewCond registers a condition variable with the ACB (pthread_cond_init).
 func (rt *Runtime) NewCond(t *sim.Task) *Cond {
 	rt.chargeAdmin(t)
-	return &Cond{rt: rt}
+	return &Cond{rt: rt, id: rt.newCondID()}
 }
 
 // Wait atomically releases mx and suspends th until signaled
@@ -61,6 +66,7 @@ func (c *Cond) Wait(th *Thread, mx *Mutex) {
 	t := th.Task
 	// No cancellation check while the mutex is held: a cancel that lands
 	// here is honored by the select below, after the mutex is released.
+	t.OpenSpan(uint8(profile.SpanCond), uint64(c.id))
 	costs := c.rt.cl.Costs
 	t.Charge(sim.CatLocal, costs.CondWaitLocal)
 	// ACB waiter registration: a small write to the master's control block.
@@ -113,6 +119,9 @@ func (c *Cond) Wait(th *Thread, mx *Mutex) {
 		if !spinning {
 			node.ThreadStarted()
 		}
+		// Close the cond span before the cancellation unwind so the span
+		// stack stays balanced on the canceled thread's log.
+		t.CloseSpan()
 		panic(sim.ErrCanceled)
 	}
 	if !spinning {
@@ -125,6 +134,7 @@ func (c *Cond) Wait(th *Thread, mx *Mutex) {
 	}
 	c.rt.proto.ApplyAcquire(t)
 	mx.Lock(t)
+	t.CloseSpan()
 }
 
 // Signal wakes one waiter (pthread_cond_signal).

@@ -29,6 +29,7 @@ import (
 
 	"cables/internal/memsys"
 	"cables/internal/nodeos"
+	"cables/internal/profile"
 	"cables/internal/sim"
 	"cables/internal/stats"
 	"cables/internal/trace"
@@ -114,6 +115,10 @@ type Protocol struct {
 	// invalidations, synchronization) with virtual timestamps.
 	Trace *trace.Ring
 
+	// Epochs, if set (bench.AttachProfiler), snapshots the run's counters
+	// at every barrier release, windowing them into per-epoch deltas.
+	Epochs *stats.EpochLog
+
 	lockMu sync.Mutex
 	locks  map[int]*SysLock
 
@@ -175,6 +180,8 @@ func (p *Protocol) homeOf(t *sim.Task, pid memsys.PageID) int {
 func (p *Protocol) validate(t *sim.Task, pid memsys.PageID) *memsys.PageCopy {
 	ctr := p.cl.Ctr
 	costs := p.cl.Costs
+	t.OpenSpan(uint8(profile.SpanFault), uint64(pid))
+	defer t.CloseSpan()
 	ctr.Add(t.NodeID, stats.EvPageFaults, 1)
 	t.Charge(sim.CatLocal, costs.FaultHandler)
 	if p.Trace != nil {
@@ -255,6 +262,7 @@ func (p *Protocol) validate(t *sim.Task, pid memsys.PageID) *memsys.PageCopy {
 		if p.Trace != nil {
 			p.Trace.Add(t.Now(), t.NodeID, trace.KindRemoteFill, uint64(pid))
 		}
+		t.MarkSpan(uint8(profile.MarkFill), uint64(pid), uint64(memsys.PageSize))
 		pc.SetValid(true)
 		return pc
 	}
@@ -400,6 +408,7 @@ func (p *Protocol) flushPage(t *sim.Task, node int, pid memsys.PageID, batch map
 // A non-nil batch defers the remote write: the diff bytes are gathered per
 // home and the caller issues one coalesced wire op per home.
 func (p *Protocol) diffToHome(t *sim.Task, node int, pid memsys.PageID, pc *memsys.PageCopy, batch map[int]int) int {
+	t.OpenSpan(uint8(profile.SpanDiff), uint64(pid))
 	home := p.sp.Home(pid)
 	hc := p.sp.Copy(home, pid)
 	hc.Mu.Lock()
@@ -410,6 +419,7 @@ func (p *Protocol) diffToHome(t *sim.Task, node int, pid memsys.PageID, pc *mems
 	pc.RetireTwin()
 	pc.SetWritten(false)
 	if diffBytes == 0 {
+		t.CloseSpan()
 		return 0
 	}
 	t.Charge(sim.CatLocal, p.cl.Costs.DiffTime(diffBytes))
@@ -420,6 +430,7 @@ func (p *Protocol) diffToHome(t *sim.Task, node int, pid memsys.PageID, pc *mems
 	}
 	p.cl.Ctr.Add(node, stats.EvDiffsSent, 1)
 	p.cl.Ctr.Add(node, stats.EvDiffBytes, int64(diffBytes))
+	t.CloseSpan()
 	return diffBytes
 }
 

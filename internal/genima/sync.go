@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"cables/internal/profile"
 	"cables/internal/sim"
 	"cables/internal/stats"
 	"cables/internal/trace"
@@ -97,13 +98,18 @@ func (l *SysLock) chargeAcquire(t *sim.Task) {
 // current holder, and applying acquire-side coherence.
 func (l *SysLock) Acquire(t *sim.Task) {
 	t.CancelPoint()
+	t.OpenSpan(uint8(profile.SpanLock), uint64(l.id))
 	l.mu.Lock()
+	// For the contention profile: the manager was remote at request time
+	// (chargeAcquire may re-home it).
+	flags := lockFlags(l, t)
 	l.chargeAcquire(t)
 	if !l.held {
 		l.held = true
 		t.WaitUntil(l.lastRelease)
 		l.mu.Unlock()
 	} else {
+		flags |= profile.LockContended
 		// Park on the task's reusable grant channel — no allocation per
 		// contended acquire.  The acquire never abandons the wait, so the
 		// grant is always consumed and the channel stays clean for reuse.
@@ -113,16 +119,28 @@ func (l *SysLock) Acquire(t *sim.Task) {
 		grant := <-ch // real block until hand-off
 		t.WaitUntil(grant)
 	}
+	t.MarkSpan(uint8(profile.MarkLockAcquired), uint64(l.id), flags)
 	if l.p.Trace != nil {
 		l.p.Trace.Add(t.Now(), t.NodeID, trace.KindLock, uint64(l.id))
 	}
 	l.p.ApplyAcquire(t)
+	t.CloseSpan()
+}
+
+// lockFlags computes the profiler's acquire classification.  Caller holds
+// l.mu.
+func lockFlags(l *SysLock, t *sim.Task) uint64 {
+	if l.lastNode >= 0 && l.lastNode != t.NodeID {
+		return profile.LockRemote
+	}
+	return 0
 }
 
 // TryAcquire attempts the lock without blocking (pthread_mutex_trylock).
 // A failed attempt on a remotely-managed lock still pays the probe.
 func (l *SysLock) TryAcquire(t *sim.Task) bool {
 	t.CancelPoint()
+	t.OpenSpan(uint8(profile.SpanLock), uint64(l.id))
 	l.mu.Lock()
 	if l.held {
 		if l.lastNode != t.NodeID && l.lastNode != -1 {
@@ -130,13 +148,17 @@ func (l *SysLock) TryAcquire(t *sim.Task) bool {
 		}
 		t.Charge(sim.CatLocal, l.p.cl.Costs.MutexLocalFast)
 		l.mu.Unlock()
+		t.CloseSpan()
 		return false
 	}
+	flags := lockFlags(l, t)
 	l.chargeAcquire(t)
 	l.held = true
 	t.WaitUntil(l.lastRelease)
 	l.mu.Unlock()
+	t.MarkSpan(uint8(profile.MarkLockAcquired), uint64(l.id), flags)
 	l.p.ApplyAcquire(t)
+	t.CloseSpan()
 	return true
 }
 
@@ -153,6 +175,7 @@ func (l *SysLock) Release(t *sim.Task) {
 	}
 	l.lastRelease = t.Now()
 	l.lastNode = t.NodeID
+	t.MarkSpan(uint8(profile.MarkLockReleased), uint64(l.id), 0)
 	if len(l.queue) > 0 {
 		next := l.queue[0]
 		l.queue = l.queue[1:]
@@ -175,6 +198,7 @@ func (l *SysLock) Release(t *sim.Task) {
 type Barrier struct {
 	p    *Protocol
 	name string
+	id   uint64 // name hash; the profiler's barrier key (also picks mgr)
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -198,7 +222,7 @@ func (p *Protocol) NewBarrier(name string) *Barrier {
 	for _, c := range []byte(name) {
 		h = (h ^ uint64(c)) * 1099511628211
 	}
-	b := &Barrier{p: p, name: name, mgr: int(h % uint64(p.cl.NumNodes()))}
+	b := &Barrier{p: p, name: name, id: h, mgr: int(h % uint64(p.cl.NumNodes()))}
 	b.cond = sync.NewCond(&b.mu)
 	p.bars[name] = b
 	return b
@@ -211,6 +235,7 @@ func (b *Barrier) Wait(t *sim.Task, parties int) {
 		panic(fmt.Sprintf("genima: barrier %q with %d parties", b.name, parties))
 	}
 	t.CancelPoint()
+	t.OpenSpan(uint8(profile.SpanBarrier), b.id)
 	b.p.Flush(t)
 	c := b.p.cl.Costs
 	t.Charge(sim.CatLocal, c.BarrierNative)
@@ -243,6 +268,11 @@ func (b *Barrier) Wait(t *sim.Task, parties int) {
 		b.gen++
 		b.count = 0
 		b.arrived = 0
+		if b.p.Epochs != nil {
+			// The last arriver closes the epoch: snapshot the counters at
+			// the release instant for the per-epoch windows.
+			b.p.Epochs.Mark(b.name, int64(b.release))
+		}
 		b.cond.Broadcast()
 	default:
 		for gen == b.gen {
@@ -258,4 +288,5 @@ func (b *Barrier) Wait(t *sim.Task, parties int) {
 	}
 	b.p.ApplyAcquire(t)
 	b.p.cl.Ctr.Add(t.NodeID, stats.EvBarriers, 1)
+	t.CloseSpan()
 }

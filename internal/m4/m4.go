@@ -15,6 +15,7 @@ import (
 	"cables/internal/genima"
 	"cables/internal/memsys"
 	"cables/internal/nodeos"
+	"cables/internal/profile"
 	"cables/internal/sim"
 	"cables/internal/stats"
 	"cables/internal/wire"
@@ -117,10 +118,12 @@ func (rt *Runtime) Spawn(parent *sim.Task, fn func(t *sim.Task)) int {
 
 	// Creation has release semantics (the child must see prior writes).
 	rt.proto.Flush(parent)
+	parent.OpenSpan(uint8(profile.SpanCreate), uint64(node))
 	parent.Charge(sim.CatLocalOS, rt.cl.Costs.OSThreadCreate)
 	if node != parent.NodeID {
 		rt.cl.Wire.Do(parent, wire.Op{Kind: wire.KindSpawn, Dst: node})
 	}
+	parent.CloseSpan()
 	child := rt.cl.NewTask(node, parent.Now())
 	rt.cl.Ctr.Add(node, stats.EvThreadsCreated, 1)
 	rt.cl.Nodes[node].ThreadStarted()

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"cables/internal/fault"
+	"cables/internal/profile"
 	"cables/internal/san"
 	"cables/internal/sim"
 	"cables/internal/stats"
@@ -88,6 +89,10 @@ type Cluster struct {
 	Wire *wire.Plane
 	// Fault is the installed fault injector (nil when faults are disabled).
 	Fault *fault.Injector
+	// Prof, when set (bench.AttachProfiler), adopts every task the cluster
+	// creates into the virtual-time profiler.  Attach before the run
+	// starts; adoption records spans and charges nothing.
+	Prof *profile.Profiler
 
 	taskSeq atomic.Int64
 }
@@ -164,5 +169,8 @@ func (c *Cluster) NewTask(node int, start sim.Time) *sim.Task {
 	t := sim.NewTask(int(c.taskSeq.Add(1)), node, c.Costs)
 	t.SetNow(start)
 	t.Load = c.Nodes[node].LoadFactor
+	if c.Prof != nil {
+		c.Prof.Adopt(t)
+	}
 	return t
 }

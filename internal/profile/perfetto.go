@@ -1,0 +1,80 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceCell is one run's contribution to a timeline export: its task logs
+// plus the label shown in the trace viewer's process track.
+type TraceCell struct {
+	Label string
+	Logs  []*TaskLog
+}
+
+// argKey names the Arg of each span kind in the exported event args.
+var argKey = [NumSpanKinds]string{
+	"task", "page", "page", "lock", "barrier", "cond",
+	"node", "node", "page", "op",
+}
+
+// WriteTrace exports cells as Chrome trace-viewer / Perfetto JSON: one
+// process per (cell, node), one thread per task, complete ("X") events per
+// span and instant ("i") events per mark, all timestamped in virtual-time
+// microseconds.  Load the file in https://ui.perfetto.dev or
+// chrome://tracing.
+func WriteTrace(w io.Writer, cells []TraceCell) error {
+	us := func(t int64) float64 { return float64(t) / 1e3 }
+	events := make([]map[string]any, 0, 1024)
+	for ci, cell := range cells {
+		nodesSeen := map[int]bool{}
+		for _, l := range cell.Logs {
+			t := l.Task()
+			pid := ci*1000 + t.NodeID
+			if !nodesSeen[t.NodeID] {
+				nodesSeen[t.NodeID] = true
+				events = append(events, map[string]any{
+					"ph": "M", "name": "process_name", "pid": pid,
+					"args": map[string]any{
+						"name": fmt.Sprintf("%s node%d", cell.Label, t.NodeID),
+					},
+				})
+				events = append(events, map[string]any{
+					"ph": "M", "name": "process_sort_index", "pid": pid,
+					"args": map[string]any{"sort_index": pid},
+				})
+			}
+			events = append(events, map[string]any{
+				"ph": "M", "name": "thread_name", "pid": pid, "tid": t.ID,
+				"args": map[string]any{"name": fmt.Sprintf("task %d", t.ID)},
+			})
+			for i := range l.Spans() {
+				s := &l.Spans()[i]
+				name := s.Kind.String()
+				if s.Kind == SpanWire && WireArgName != nil {
+					name = "wire." + WireArgName(s.Arg)
+				}
+				events = append(events, map[string]any{
+					"ph": "X", "name": name, "cat": s.Kind.String(),
+					"pid": pid, "tid": t.ID,
+					"ts": us(int64(s.Start)), "dur": us(int64(s.Dur())),
+					"args": map[string]any{argKey[s.Kind]: s.Arg},
+				})
+			}
+			for i := range l.Marks() {
+				m := &l.Marks()[i]
+				events = append(events, map[string]any{
+					"ph": "i", "name": m.Kind.String(), "s": "t",
+					"pid": pid, "tid": t.ID, "ts": us(int64(m.At)),
+					"args": map[string]any{"arg": m.Arg, "val": m.Val},
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"displayTimeUnit": "ns",
+		"traceEvents":     events,
+	})
+}

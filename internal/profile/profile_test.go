@@ -1,0 +1,324 @@
+package profile
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"cables/internal/sim"
+)
+
+// newProfiledTask returns a task adopted by a fresh profiler, plus its log.
+func newProfiledTask(t *testing.T, id, node int) (*sim.Task, *TaskLog, *Profiler) {
+	t.Helper()
+	tk := sim.NewTask(id, node, sim.DefaultCosts())
+	p := New()
+	p.Adopt(tk)
+	l, ok := tk.Probe().(*TaskLog)
+	if !ok {
+		t.Fatalf("probe is %T, want *TaskLog", tk.Probe())
+	}
+	return tk, l, p
+}
+
+// TestSpanTreeTelescopes pins the accounting model: a span's inclusive cost
+// is the breakdown accumulated inside it, self subtracts direct children,
+// and self costs over the whole tree telescope to the task's breakdown.
+func TestSpanTreeTelescopes(t *testing.T) {
+	tk, l, p := newProfiledTask(t, 1, 0)
+
+	tk.Charge(sim.CatCompute, 10*sim.Microsecond) // root self
+	tk.OpenSpan(uint8(SpanFault), 42)
+	tk.Charge(sim.CatLocal, 5*sim.Microsecond) // fault self
+	tk.OpenSpan(uint8(SpanWire), 3)
+	tk.Charge(sim.CatComm, 7*sim.Microsecond) // wire self
+	tk.CloseSpan()
+	tk.Charge(sim.CatLocal, 2*sim.Microsecond) // fault self again
+	tk.CloseSpan()
+	tk.Charge(sim.CatCompute, 1*sim.Microsecond) // root self
+
+	logs := p.Logs()
+	if len(logs) != 1 || logs[0] != l {
+		t.Fatalf("Logs() = %v, want the one adopted log", logs)
+	}
+	if l.Anomalies() != 0 {
+		t.Fatalf("anomalies = %d, want 0", l.Anomalies())
+	}
+	spans := l.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("len(spans) = %d, want 3", len(spans))
+	}
+	root, fault, wire := &spans[0], &spans[1], &spans[2]
+	if root.Kind != SpanRun || fault.Kind != SpanFault || wire.Kind != SpanWire {
+		t.Fatalf("span kinds = %v/%v/%v", root.Kind, fault.Kind, wire.Kind)
+	}
+	if root.Parent != -1 || fault.Parent != 0 || wire.Parent != 1 {
+		t.Fatalf("parents = %d/%d/%d, want -1/0/1", root.Parent, fault.Parent, wire.Parent)
+	}
+	if got := fault.Incl.Total(); got != 14*sim.Microsecond {
+		t.Errorf("fault inclusive = %v, want 14us", got)
+	}
+	if fs := fault.Self(); fs.Total() != 7*sim.Microsecond {
+		t.Errorf("fault self = %v, want 7us", fs.Total())
+	}
+	if ws := wire.Self(); ws.Total() != 7*sim.Microsecond {
+		t.Errorf("wire self = %v, want 7us", ws.Total())
+	}
+	// The reconciliation invariant, at the single-task level.
+	var selves sim.Breakdown
+	for i := range spans {
+		s := spans[i].Self()
+		selves.AddAll(&s)
+	}
+	want := tk.Snapshot().Sub(l.Base())
+	if selves != want {
+		t.Errorf("self sum = %v, want task breakdown %v", selves, want)
+	}
+	if root.Incl != want {
+		t.Errorf("root inclusive = %v, want %v", root.Incl, want)
+	}
+}
+
+// TestAdoptMidLifeBases a task that already accumulated cost before
+// adoption: the base is excluded from the profiled breakdown.
+func TestAdoptMidLifeBases(t *testing.T) {
+	tk := sim.NewTask(1, 0, sim.DefaultCosts())
+	tk.Charge(sim.CatLocalOS, 100*sim.Microsecond) // pre-adoption history
+	p := New()
+	p.Adopt(tk)
+	tk.Charge(sim.CatCompute, 5*sim.Microsecond)
+	logs := p.Logs()
+	l := logs[0]
+	if base := l.Base(); base.Total() != 100*sim.Microsecond {
+		t.Fatalf("base = %v, want 100us", base.Total())
+	}
+	if got := l.Spans()[0].Incl.Total(); got != 5*sim.Microsecond {
+		t.Errorf("profiled total = %v, want 5us", got)
+	}
+	// Re-adoption is a no-op.
+	p.Adopt(tk)
+	if n := len(p.Logs()); n != 1 {
+		t.Errorf("re-adopt created a log: %d logs", n)
+	}
+}
+
+// TestUnbalancedCloseCounts pins anomaly accounting for a close with no
+// matching open.
+func TestUnbalancedCloseCounts(t *testing.T) {
+	tk, l, _ := newProfiledTask(t, 1, 0)
+	tk.CloseSpan() // closes the root
+	tk.CloseSpan() // nothing left: anomaly
+	if l.Anomalies() != 1 {
+		t.Errorf("anomalies = %d, want 1", l.Anomalies())
+	}
+}
+
+// TestFinalizeClosesLeaks pins the error-unwind path: spans left open are
+// closed at the task's final clock, non-root leaks count as anomalies, and
+// the telescoping invariant still holds.
+func TestFinalizeClosesLeaks(t *testing.T) {
+	tk, l, p := newProfiledTask(t, 1, 0)
+	tk.OpenSpan(uint8(SpanLock), 9)
+	tk.Charge(sim.CatWait, 3*sim.Microsecond)
+	tk.OpenSpan(uint8(SpanWire), 1)
+	tk.Charge(sim.CatComm, 2*sim.Microsecond)
+	// No closes: simulate a panic unwind.
+	p.Logs()
+	if l.Anomalies() != 2 { // lock + wire leaked; the root close is expected
+		t.Errorf("anomalies = %d, want 2", l.Anomalies())
+	}
+	for i := range l.Spans() {
+		s := &l.Spans()[i]
+		if s.End < s.Start {
+			t.Errorf("span %d not closed: [%v,%v]", i, s.Start, s.End)
+		}
+	}
+	var selves sim.Breakdown
+	for i := range l.Spans() {
+		s := l.Spans()[i].Self()
+		selves.AddAll(&s)
+	}
+	if want := tk.Snapshot().Sub(l.Base()); selves != want {
+		t.Errorf("self sum after finalize = %v, want %v", selves, want)
+	}
+}
+
+// TestReportLockSplit pins the lock contention math on a hand-built
+// two-task schedule: task A holds lock 7 for 20us; task B requests it 5us
+// in, acquires 2us after A releases (the transfer), having sat behind the
+// holder for the rest of its wait.
+func TestReportLockSplit(t *testing.T) {
+	p := New()
+	a := sim.NewTask(1, 0, sim.DefaultCosts())
+	b := sim.NewTask(2, 1, sim.DefaultCosts())
+	p.Adopt(a)
+	p.Adopt(b)
+
+	// Task A: uncontended local acquire at t=10, release at t=30.
+	a.OpenSpan(uint8(SpanLock), 7)
+	a.Charge(sim.CatLocal, 10*sim.Microsecond)
+	a.MarkSpan(uint8(MarkLockAcquired), 7, 0)
+	a.CloseSpan()
+	a.Charge(sim.CatCompute, 20*sim.Microsecond)
+	a.MarkSpan(uint8(MarkLockReleased), 7, 0)
+
+	// Task B: requests at t=5, acquires at t=32 (contended, remote).
+	b.Charge(sim.CatCompute, 5*sim.Microsecond)
+	b.OpenSpan(uint8(SpanLock), 7)
+	b.Charge(sim.CatWait, 27*sim.Microsecond)
+	b.MarkSpan(uint8(MarkLockAcquired), 7, LockContended|LockRemote)
+	b.CloseSpan()
+	b.Charge(sim.CatCompute, 8*sim.Microsecond)
+	b.MarkSpan(uint8(MarkLockReleased), 7, 0)
+
+	r := Build(p.Logs())
+	if len(r.Locks) != 1 {
+		t.Fatalf("locks = %d, want 1", len(r.Locks))
+	}
+	ls := r.Locks[0]
+	if ls.Lock != 7 || ls.Acquires != 2 || ls.Contended != 1 || ls.Remote != 1 {
+		t.Fatalf("lock stat = %+v", ls)
+	}
+	us := sim.Microsecond
+	if ls.Wait != 10*us+27*us || ls.MaxWait != 27*us {
+		t.Errorf("wait = %v max %v, want 37us max 27us", ls.Wait, ls.MaxWait)
+	}
+	if ls.Transfer != 2*us {
+		t.Errorf("transfer = %v, want 2us", ls.Transfer)
+	}
+	if ls.HoldBlocked != 25*us {
+		t.Errorf("holdBlocked = %v, want 25us", ls.HoldBlocked)
+	}
+	if ls.Hold != 20*us+8*us || ls.MaxHold != 20*us {
+		t.Errorf("hold = %v max %v, want 28us max 20us", ls.Hold, ls.MaxHold)
+	}
+}
+
+// TestReportPagesAndKinds pins page heat aggregation and the report-level
+// reconciliation helpers.
+func TestReportPagesAndKinds(t *testing.T) {
+	p := New()
+	tk := sim.NewTask(1, 0, sim.DefaultCosts())
+	p.Adopt(tk)
+	for i := 0; i < 3; i++ {
+		tk.OpenSpan(uint8(SpanFault), 5)
+		tk.Charge(sim.CatLocal, sim.Time(i+1)*sim.Microsecond)
+		if i == 0 {
+			tk.MarkSpan(uint8(MarkFill), 5, 4096)
+		}
+		tk.CloseSpan()
+	}
+	tk.OpenSpan(uint8(SpanDiff), 5)
+	tk.Charge(sim.CatLocal, sim.Microsecond)
+	tk.CloseSpan()
+	tk.OpenSpan(uint8(SpanFault), 6)
+	tk.Charge(sim.CatLocal, 10*sim.Microsecond)
+	tk.CloseSpan()
+
+	r := Build(p.Logs())
+	if len(r.Pages) != 2 {
+		t.Fatalf("pages = %d, want 2", len(r.Pages))
+	}
+	// Page 6 stalls longest, so it sorts first.
+	if r.Pages[0].Page != 6 || r.Pages[0].Stall != 10*sim.Microsecond {
+		t.Errorf("hottest page = %+v", r.Pages[0])
+	}
+	p5 := r.Pages[1]
+	if p5.Faults != 3 || p5.Fills != 1 || p5.Diffs != 1 {
+		t.Errorf("page 5 = %+v", p5)
+	}
+	if p5.Stall != 6*sim.Microsecond || p5.MaxStall != 3*sim.Microsecond {
+		t.Errorf("page 5 stall = %v max %v", p5.Stall, p5.MaxStall)
+	}
+	if r.KindSum() != r.Total {
+		t.Errorf("KindSum %v != Total %v", r.KindSum(), r.Total)
+	}
+	if got := r.FaultTime(); got != 16*sim.Microsecond {
+		t.Errorf("FaultTime = %v, want 16us", got)
+	}
+	if r.Kinds[SpanFault].Count != 4 || r.Kinds[SpanDiff].Count != 1 {
+		t.Errorf("kind counts = %+v", r.Kinds)
+	}
+}
+
+// TestWriteTraceShape decodes an exported timeline and checks the Chrome
+// trace-viewer contract: the traceEvents wrapper, metadata rows, and
+// complete events with non-negative microsecond timestamps.
+func TestWriteTraceShape(t *testing.T) {
+	p := New()
+	tk := sim.NewTask(3, 1, sim.DefaultCosts())
+	p.Adopt(tk)
+	tk.OpenSpan(uint8(SpanFault), 8)
+	tk.Charge(sim.CatLocal, 4*sim.Microsecond)
+	tk.MarkSpan(uint8(MarkFill), 8, 4096)
+	tk.CloseSpan()
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, []TraceCell{{Label: "X/genima p=1", Logs: p.Logs()}}); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string  `json:"ph"`
+			Name string  `json:"name"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var meta, complete, instant int
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if e.Ts < 0 || e.Dur < 0 {
+				t.Errorf("negative ts/dur on %q: ts=%v dur=%v", e.Name, e.Ts, e.Dur)
+			}
+		case "i":
+			instant++
+		default:
+			t.Errorf("unknown phase %q", e.Ph)
+		}
+	}
+	// process_name + process_sort_index + thread_name; run + fault; fill.
+	if meta != 3 || complete != 2 || instant != 1 {
+		t.Errorf("events = %d meta / %d complete / %d instant, want 3/2/1",
+			meta, complete, instant)
+	}
+	// The fault span is 4us wide in a trace timestamped in microseconds.
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" && e.Name == "fault" && e.Dur != 4 {
+			t.Errorf("fault dur = %vus, want 4", e.Dur)
+		}
+	}
+}
+
+// TestSpanKindNames keeps the inventory names stable: they key the
+// docs/OBSERVABILITY.md tables that cmd/doccheck enforces.
+func TestSpanKindNames(t *testing.T) {
+	want := []string{"run", "fault", "diff", "lock", "barrier", "cond",
+		"create", "attach", "migrate", "wire"}
+	for i, name := range want {
+		if got := SpanKind(i).String(); got != name {
+			t.Errorf("SpanKind(%d) = %q, want %q", i, got, name)
+		}
+	}
+	if SpanKind(NumSpanKinds).String() != "span?" {
+		t.Errorf("out-of-range kind not flagged")
+	}
+	for i, name := range []string{"fill", "acquired", "released"} {
+		if got := MarkKind(i).String(); got != name {
+			t.Errorf("MarkKind(%d) = %q, want %q", i, got, name)
+		}
+	}
+}

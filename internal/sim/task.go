@@ -18,6 +18,26 @@ const schedQuantum = 50 * Microsecond
 // been canceled (pthread_cancel).  The thread-runner recovers it.
 var ErrCanceled = errors.New("sim: task canceled")
 
+// SpanProbe observes span boundaries and point marks on one task.  It is the
+// narrow waist between the simulator and the virtual-time profiler
+// (internal/profile): sim stays free of profiler types, and a task with no
+// probe attached pays one nil check per instrumentation site.  A probe is
+// owned by the task's goroutine — the same single-owner rule as the clock —
+// so implementations need no locking for per-task state.
+//
+// Probes observe; they never charge.  The Breakdown pointer passed at open
+// and close lets the probe attribute a span's virtual time to categories by
+// differencing, without sim exposing its accounting internals.
+type SpanProbe interface {
+	// SpanOpen begins a nested span of the given kind (a
+	// profile.SpanKind value) with one argument (page id, lock id, ...).
+	SpanOpen(kind uint8, arg uint64, now Time, brk *Breakdown)
+	// SpanClose ends the innermost open span.
+	SpanClose(now Time, brk *Breakdown)
+	// SpanMark records a point event (a profile.MarkKind value) at now.
+	SpanMark(kind uint8, arg, val uint64, now Time)
+}
+
 // Task is one simulated thread of execution.  It is owned by exactly one
 // goroutine; only that goroutine calls Charge/Compute/Attribute.  Other
 // goroutines may read the clock (synchronization primitives merge peers'
@@ -42,6 +62,11 @@ type Task struct {
 
 	costs     *Costs
 	schedDebt Time // charged time since the last host-CPU yield
+
+	// prof is the attached span probe, nil when no profiler is observing
+	// the run.  Set before the task's goroutine starts (or by the owner);
+	// called only from the owner goroutine.
+	prof SpanProbe
 
 	// grant is the task's reusable hand-off channel: contended lock
 	// acquires and condition waits park the task on it and the releaser or
@@ -131,6 +156,36 @@ func (t *Task) WaitUntil(v Time) Time {
 // Snapshot returns a copy of the cumulative breakdown.  Call only from the
 // owner goroutine or after the task has finished.
 func (t *Task) Snapshot() Breakdown { return t.brk }
+
+// SetProbe attaches (or, with nil, detaches) a span probe.  Call before the
+// task's goroutine starts, or from the owner goroutine.
+func (t *Task) SetProbe(p SpanProbe) { t.prof = p }
+
+// Probe returns the attached span probe, nil when none.
+func (t *Task) Probe() SpanProbe { return t.prof }
+
+// OpenSpan begins a profiling span of the given kind.  With no probe
+// attached this is a single nil check — the detached fast path the hostperf
+// profile_overhead gate holds at ≤0.5% of a flush operation.
+func (t *Task) OpenSpan(kind uint8, arg uint64) {
+	if t.prof != nil {
+		t.prof.SpanOpen(kind, arg, t.Now(), &t.brk)
+	}
+}
+
+// CloseSpan ends the innermost span opened by OpenSpan.
+func (t *Task) CloseSpan() {
+	if t.prof != nil {
+		t.prof.SpanClose(t.Now(), &t.brk)
+	}
+}
+
+// MarkSpan records a point event on the task's timeline.
+func (t *Task) MarkSpan(kind uint8, arg, val uint64) {
+	if t.prof != nil {
+		t.prof.SpanMark(kind, arg, val, t.Now())
+	}
+}
 
 // Cancel marks the task canceled; the owning goroutine unwinds at its next
 // cancellation point.

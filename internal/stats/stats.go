@@ -143,20 +143,39 @@ func (c *Counters) Load(e Event) int64 {
 	return s
 }
 
+// Snapshot is one point-in-time reading of every counter, keyed by
+// Event.String().  Snapshots subtract (Delta) to form counter windows.
+type Snapshot map[string]int64
+
 // Snapshot returns the counters as a name->value map, for reporting.
-func (c *Counters) Snapshot() map[string]int64 {
-	m := make(map[string]int64, NumEvents)
+func (c *Counters) Snapshot() Snapshot {
+	m := make(Snapshot, NumEvents)
 	for e := Event(0); e < numEvents; e++ {
 		m[eventKeys[e]] = c.Load(e)
 	}
 	return m
 }
 
-// String lists the non-zero counters in sorted order.
-func (c *Counters) String() string {
-	m := c.Snapshot()
-	keys := make([]string, 0, len(m))
-	for k, v := range m {
+// Delta returns the counter window since prev: the current reading minus
+// prev, per key.  A nil prev yields the current reading itself, so a
+// phase loop can start from nothing.
+func (c *Counters) Delta(prev Snapshot) Snapshot {
+	return c.Snapshot().Delta(prev)
+}
+
+// Delta returns s - prev, per key (keys missing from prev count as zero).
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	d := make(Snapshot, len(s))
+	for k, v := range s {
+		d[k] = v - prev[k]
+	}
+	return d
+}
+
+// String lists the non-zero entries in sorted order.
+func (s Snapshot) String() string {
+	keys := make([]string, 0, len(s))
+	for k, v := range s {
 		if v != 0 {
 			keys = append(keys, k)
 		}
@@ -164,9 +183,14 @@ func (c *Counters) String() string {
 	sort.Strings(keys)
 	parts := make([]string, len(keys))
 	for i, k := range keys {
-		parts[i] = fmt.Sprintf("%s=%d", k, m[k])
+		parts[i] = fmt.Sprintf("%s=%d", k, s[k])
 	}
 	return strings.Join(parts, " ")
+}
+
+// String lists the non-zero counters in sorted order.
+func (c *Counters) String() string {
+	return c.Snapshot().String()
 }
 
 // Table is a minimal fixed-width text table writer used by the experiment

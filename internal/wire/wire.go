@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 
 	"cables/internal/fault"
+	"cables/internal/profile"
 	"cables/internal/san"
 	"cables/internal/sim"
 	"cables/internal/stats"
@@ -107,6 +108,12 @@ var kindNames = [numKinds]string{
 	"lock1", "lockr", "lockr1", "grant", "probe", "barrier",
 	"cwait", "csignal", "cbcast", "admin", "attach", "tcreate",
 	"spawn", "segmig", "segdet", "rehome",
+}
+
+// Register the plane's kind names with the profiler so SpanWire timeline
+// events render as "wire.<kind>" without profile importing wire.
+func init() {
+	profile.WireArgName = func(arg uint64) string { return Kind(arg).String() }
 }
 
 // String names the kind (also the suffix of its trace kind).
@@ -236,12 +243,16 @@ func (p *Plane) Do(t *sim.Task, op Op) sim.Time {
 	if op.Size == 0 {
 		op.Size = op.Kind.nominalSize()
 	}
+	t.OpenSpan(uint8(profile.SpanWire), uint64(op.Kind))
 	p.ctr.Add(op.Src, stats.EvWireOps, 1)
 	if op.Kind.delegated() {
 		p.doData(t, op)
+		t.CloseSpan()
 		return 0
 	}
-	return p.doControl(t, op)
+	d := p.doControl(t, op)
+	t.CloseSpan()
+	return d
 }
 
 // doData routes a data-plane op through vmmc (which models NIC occupancy,
