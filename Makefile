@@ -24,8 +24,9 @@ test:
 
 race:
 	$(GO) test -race ./internal/genima/... ./internal/memsys/... ./internal/core/... \
-		./internal/san/... ./internal/vmmc/... ./internal/nodeos/... ./internal/wire/...
-	$(GO) test -race -run 'TestFig5RaceSmoke|TestFig5ContendedSyncRaceSmoke' ./internal/bench/
+		./internal/san/... ./internal/vmmc/... ./internal/nodeos/... ./internal/wire/... \
+		./internal/sim/...
+	$(GO) test -race -run 'TestFig5RaceSmoke|TestFig5RaceSmokeEventSched|TestFig5ContendedSyncRaceSmoke' ./internal/bench/
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./internal/bench/hostperf/

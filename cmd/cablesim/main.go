@@ -46,6 +46,10 @@
 // reserve NIC occupancy (sync traffic queues behind data traffic), the
 // second applies GeNIMA's release protocol-opt of one coalesced remote
 // write per home node.  Both default off, reproducing the paper exactly.
+// -sched selects the thread-manager backend every simulation runs under
+// ("goroutine" or "event", see DESIGN.md §10); results are checksum-
+// identical across backends, only host wall-clock changes.  The
+// CABLES_SCHED environment variable sets the same default process-wide.
 package main
 
 import (
@@ -89,7 +93,14 @@ func main() {
 		"wire plane: synchronization messages reserve NIC occupancy (fig5/fig6/counters)")
 	coalesce := fs.Bool("coalesce", false,
 		"wire plane: GeNIMA release coalesces diffs into one remote write per home (fig5/fig6/counters)")
+	sched := fs.String("sched", sim.DefaultSchedulerName(),
+		fmt.Sprintf("thread-manager backend: %s (virtual-time results are identical; host speed differs)",
+			strings.Join(sim.SchedulerNames(), "|")))
 	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	if err := sim.SetDefaultScheduler(*sched); err != nil {
+		fmt.Fprintf(os.Stderr, "cablesim: %v\n", err)
 		os.Exit(2)
 	}
 	outSet := false
@@ -324,5 +335,6 @@ func usage() {
 flags: -scale test|paper  -apps A,B  -procs 1,4,8  -gran bytes  -jobs N  -o report.json  -compare old.json
        -trace -profile (counters)  -plan "send:p=0.05;detach:node=1,at=5ms" -seed N -profile (faults)
        -top N -o trace.json (profile: Perfetto/Chrome trace-viewer timeline)
-       -contended-sync -coalesce (fig5/fig6/counters wire-plane modes)`)
+       -contended-sync -coalesce (fig5/fig6/counters wire-plane modes)
+       -sched goroutine|event (thread-manager backend; results identical, host speed differs)`)
 }

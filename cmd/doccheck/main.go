@@ -12,7 +12,10 @@
 //   - every observability name the code defines — stats event keys, trace
 //     event kinds, profiler span and mark names — must appear backquoted in
 //     a docs/OBSERVABILITY.md inventory table, so adding an event without
-//     documenting it fails CI.
+//     documenting it fails CI;
+//   - every registered thread-manager backend (internal/sim schedulerNames)
+//     must appear backquoted in EXPERIMENTS.md, so an undocumented
+//     `-sched` value fails CI.
 //
 // It walks the tree rooted at the optional -root flag (default ".") and
 // exits non-zero listing every violation, so CI can gate on it
@@ -64,6 +67,13 @@ func main() {
 		os.Exit(2)
 	}
 	problems = append(problems, invProblems...)
+
+	schedProblems, err := checkSchedulerDocs(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		os.Exit(2)
+	}
+	problems = append(problems, schedProblems...)
 
 	if len(problems) > 0 {
 		sort.Strings(problems)
@@ -311,6 +321,37 @@ func checkObservabilityInventory(root string) ([]string, error) {
 					"%s: %s %q (defined in %s) missing from the inventory tables",
 					docPath, g.what, name, g.src))
 			}
+		}
+	}
+	return problems, nil
+}
+
+// checkSchedulerDocs keeps EXPERIMENTS.md in lock-step with the
+// thread-manager backend registry: every name in internal/sim's
+// schedulerNames must appear backquoted somewhere in the experiments doc,
+// so registering a new `-sched` backend without documenting how to select
+// it is a CI failure.
+func checkSchedulerDocs(root string) ([]string, error) {
+	docPath := filepath.Join(root, "EXPERIMENTS.md")
+	data, err := os.ReadFile(docPath)
+	if err != nil {
+		return nil, err
+	}
+	documented := map[string]bool{}
+	for _, m := range backtick.FindAllStringSubmatch(string(data), -1) {
+		documented[m[1]] = true
+	}
+
+	names, err := sliceLiteral(filepath.Join(root, "internal", "sim", "sched.go"), "schedulerNames")
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, name := range names {
+		if !documented[name] {
+			problems = append(problems, fmt.Sprintf(
+				"%s: scheduler backend %q (registered in internal/sim/sched.go) is not documented",
+				docPath, name))
 		}
 	}
 	return problems, nil

@@ -40,12 +40,21 @@ func TestPNComputesPrimeCount(t *testing.T) {
 // once (sum formula), using only local operations on one node.
 func TestPCTransfersEveryItem(t *testing.T) {
 	const items = 200
-	res := RunPC(newRT(1), items)
-	if want := int64(items * (items + 1) / 2); res.Answer != want {
-		t.Errorf("sum: got %d want %d", res.Answer, want)
+	// Whether the buffer ever blocks is an interleaving outcome: a
+	// perfectly alternating producer/consumer pair always finds the buffer
+	// in the right state and records no cond waits.  The sum must hold on
+	// every run; the blocking machinery must be exercised by at least one.
+	waited := false
+	for attempt := 0; attempt < 5 && !waited; attempt++ {
+		res := RunPC(newRT(1), items)
+		if want := int64(items * (items + 1) / 2); res.Answer != want {
+			t.Fatalf("sum: got %d want %d", res.Answer, want)
+		}
+		_, n := res.Stats.Avg("cond_wait")
+		waited = n > 0
 	}
-	if _, n := res.Stats.Avg("cond_wait"); n == 0 {
-		t.Error("no condition waits recorded — buffer never blocked")
+	if !waited {
+		t.Error("no condition waits recorded in any attempt — buffer never blocked")
 	}
 }
 

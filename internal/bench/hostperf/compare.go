@@ -19,6 +19,16 @@ const maxWirePlaneOverhead = 0.02
 // no profiler attached, OpenSpan/CloseSpan must stay a nil check.
 const maxProfileOverhead = 0.005
 
+// minSchedSpeedup is the comparison gate on the event scheduler backend:
+// fig5-small at jobs=NumCPU must run at least this much faster under
+// sched/event than under sched/goroutine (Derived["fig5_small_speedup_sched"]).
+// The gate is enforced on hosts with GOMAXPROCS >= 2, where free-running
+// goroutines genuinely contend for cores and park/wake through futexes; on
+// a single-processor host the Go scheduler is already effectively
+// cooperative, there is no cross-core contention to eliminate, and the
+// measured gap (recorded in the report either way) is informational.
+const minSchedSpeedup = 2.0
+
 // Compare prints a benchstat-style delta table of two reports: per
 // benchmark, old and new ns/op and allocs/op with the relative change.
 // Benchmarks present in only one report are listed with "-" on the missing
@@ -72,6 +82,10 @@ func Compare(w io.Writer, old, cur Report) error {
 	}
 	if n, ok := cur.Derived["wire_do_allocs_per_op"]; ok && n > 0 {
 		return fmt.Errorf("wire/do allocates (%.0f allocs/op): the wire fast path must stay allocation-free", n)
+	}
+	if sp, ok := cur.Derived["fig5_small_speedup_sched"]; ok && cur.GOMAXPROCS >= 2 && sp < minSchedSpeedup {
+		return fmt.Errorf("fig5_small_speedup_sched %.2f below the %.1fx gate: the event scheduler no longer beats free-running goroutines on a %d-way host",
+			sp, minSchedSpeedup, cur.GOMAXPROCS)
 	}
 	return nil
 }

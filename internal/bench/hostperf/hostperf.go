@@ -71,7 +71,32 @@ func Cases() []Case {
 		Case{"sweep/fig5-small/jobs1", Fig5Small(1)},
 		Case{fmt.Sprintf("sweep/fig5-small/jobs%d", fig5SmallParJobs()), Fig5Small(fig5SmallParJobs())},
 	)
+	// Thread-manager backend comparison: the same workloads pinned to each
+	// scheduler (virtual-time results are identical across backends; only
+	// the simulator's wall-clock changes).  fig5-small runs at jobs=NumCPU,
+	// the configuration the sched gate watches.
+	for _, s := range sim.SchedulerNames() {
+		s := s
+		cases = append(cases,
+			Case{"sched/" + s + "/fig5-small", withScheduler(s, Fig5Small(bench.DefaultJobs()))},
+			Case{"sched/" + s + "/fft", withScheduler(s, E2EFFT)},
+			Case{"sched/" + s + "/ocean", withScheduler(s, E2EOcean)},
+		)
+	}
 	return cases
+}
+
+// withScheduler wraps a benchmark body so every simulation it creates runs
+// under the named thread-manager backend, restoring the prior default.
+func withScheduler(name string, fn func(b *testing.B)) func(b *testing.B) {
+	return func(b *testing.B) {
+		old := sim.DefaultSchedulerName()
+		if err := sim.SetDefaultScheduler(name); err != nil {
+			b.Fatal(err)
+		}
+		defer sim.SetDefaultScheduler(old)
+		fn(b)
+	}
 }
 
 // fig5SmallParJobs is the parallel-harness width for sweep/fig5-small: the
@@ -364,6 +389,21 @@ func Run() Report {
 	if par := rep.Benchmarks[fmt.Sprintf("sweep/fig5-small/jobs%d", fig5SmallParJobs())]; par.NsPerOp > 0 {
 		rep.Derived["fig5_small_jobs_speedup"] =
 			rep.Benchmarks["sweep/fig5-small/jobs1"].NsPerOp / par.NsPerOp
+	}
+	// Scheduler-backend speedups: goroutine-backend wall clock over
+	// event-backend wall clock for the same workload (>1 means the event
+	// scheduler is faster).  The fig5-small entry is the one the -compare
+	// sched gate watches.
+	for _, name := range []string{"fig5-small", "fft", "ocean"} {
+		gor := rep.Benchmarks["sched/"+sim.SchedGoroutine+"/"+name]
+		evt := rep.Benchmarks["sched/"+sim.SchedEvent+"/"+name]
+		if gor.NsPerOp > 0 && evt.NsPerOp > 0 {
+			key := "sweep_" + name + "_speedup_sched"
+			if name == "fig5-small" {
+				key = "fig5_small_speedup_sched"
+			}
+			rep.Derived[key] = gor.NsPerOp / evt.NsPerOp
+		}
 	}
 	return rep
 }

@@ -1,0 +1,230 @@
+package bench
+
+import (
+	"io"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cables/internal/memsys"
+	"cables/internal/sim"
+)
+
+// crossSchedTolerance bounds virtual-time disagreement between the two
+// thread-manager backends.  It is wider than the run-to-run jitterTolerance
+// because the difference is systematic, not noise: the event backend wakes
+// lock and barrier waiters in virtual-time order where free-running
+// goroutines wake in host order, and on lock-heavy cells (LU at 4
+// processors) the resulting contention sequence shifts simulated time by a
+// consistent ~13%.  Computation checksums and row shape get no tolerance
+// at all.
+const crossSchedTolerance = 0.25
+
+// setScheduler switches the process-default thread-manager backend for the
+// duration of the test.  Tests in this package run sequentially, so the
+// global default is safe to swap.
+func setScheduler(t *testing.T, name string) {
+	t.Helper()
+	saved := sim.DefaultSchedulerName()
+	if err := sim.SetDefaultScheduler(name); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := sim.SetDefaultScheduler(saved); err != nil {
+			t.Errorf("restore scheduler default: %v", err)
+		}
+	})
+}
+
+// TestSchedulerBackendEquivalence pins the figure-5 grid across the two
+// thread-manager backends: the computation checksums are structural results
+// of the simulated protocol and must be bit-identical no matter which
+// backend interleaved the threads; misplaced-page counts may shift by at
+// most one map unit of first-touch racing, and virtual times may differ
+// only within the cross-scheduler envelope.
+func TestSchedulerBackendEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the fig5 grid once per scheduler backend")
+	}
+	apps, procs := []string{"FFT", "LU"}, []int{1, 4}
+	data := map[string]Fig5Data{}
+	for _, name := range sim.SchedulerNames() {
+		setScheduler(t, name)
+		data[name] = RunFig5(apps, procs, ScaleTest, nil, 2)
+	}
+	gor, evt := data[sim.SchedGoroutine], data[sim.SchedEvent]
+	for _, app := range apps {
+		for _, p := range procs {
+			for _, backend := range []string{BackendGenima, BackendCables} {
+				g, e := gor[app][p][backend], evt[app][p][backend]
+				if (g.Err == nil) != (e.Err == nil) {
+					t.Errorf("%s/%s p=%d: error outcome differs: goroutine %v, event %v",
+						app, backend, p, g.Err, e.Err)
+					continue
+				}
+				if g.Err != nil {
+					continue
+				}
+				if g.Res.Checksum != e.Res.Checksum {
+					t.Errorf("%s/%s p=%d: checksum differs across schedulers: %g vs %g",
+						app, backend, p, g.Res.Checksum, e.Res.Checksum)
+				}
+				// Misplacement (the Figure 6 metric) counts pages whose
+				// map-unit-granularity home lost the first-touch race to
+				// another node; which node wins a contended unit is an
+				// interleaving outcome, so the backends may legitimately
+				// disagree by up to one map unit's worth of pages.  Each
+				// backend's own count stays pinned exactly by
+				// TestSchedulerJobsDeterminism.
+				unitPages := sim.DefaultCosts().MapGranularity / memsys.PageSize
+				if d := g.Res.Misplaced - e.Res.Misplaced; d > unitPages || -d > unitPages {
+					t.Errorf("%s/%s p=%d: misplaced pages differ across schedulers by more than one map unit: %d vs %d",
+						app, backend, p, g.Res.Misplaced, e.Res.Misplaced)
+				}
+				if d := relDiff(float64(g.Res.Parallel), float64(e.Res.Parallel)); d > crossSchedTolerance {
+					t.Errorf("%s/%s p=%d: parallel time differs by %.1f%% across schedulers: %v vs %v",
+						app, backend, p, d*100, g.Res.Parallel, e.Res.Parallel)
+				}
+			}
+		}
+	}
+
+	// The rendered figure agrees on row structure across backends.
+	shape := func(tab string) []string {
+		var labels []string
+		for _, line := range strings.Split(tab, "\n") {
+			if f := strings.Fields(line); len(f) > 0 {
+				labels = append(labels, f[0])
+			}
+		}
+		return labels
+	}
+	g5 := shape(Fig5(io.Discard, gor, procs).String())
+	e5 := shape(Fig5(io.Discard, evt, procs).String())
+	if !slicesEqual(g5, e5) {
+		t.Errorf("fig5 row structure differs across schedulers: %v vs %v", g5, e5)
+	}
+}
+
+// TestTable4BackendEquivalence renders the Table 4 API-cost suite under
+// both backends.  Within one backend the rendering must be byte-identical
+// run to run; across backends the structure and every non-timing cell must
+// match exactly, while timing cells may differ within the jitter envelope
+// (the mutex+cond central barrier's cost depends on cond-broadcast wake-up
+// order, which the backends legitimately resolve differently).
+func TestTable4BackendEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the table4 suite twice per scheduler backend")
+	}
+	render := map[string]string{}
+	for _, name := range sim.SchedulerNames() {
+		setScheduler(t, name)
+		a := Table4(io.Discard).String()
+		b := Table4(io.Discard).String()
+		if a != b {
+			t.Errorf("%s: table4 is not reproducible within one backend:\n--- first\n%s\n--- second\n%s",
+				name, a, b)
+		}
+		render[name] = a
+	}
+	compareTable4(t, render[sim.SchedGoroutine], render[sim.SchedEvent])
+}
+
+// compareTable4 checks two rendered Table 4 instances agree cell by cell:
+// exactly for labels and counts, within the jitter tolerance for times.
+func compareTable4(t *testing.T, a, b string) {
+	t.Helper()
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	if len(la) != len(lb) {
+		t.Errorf("table4 line count differs across schedulers: %d vs %d", len(la), len(lb))
+		return
+	}
+	for i := range la {
+		fa, fb := strings.Fields(la[i]), strings.Fields(lb[i])
+		if len(fa) != len(fb) {
+			t.Errorf("table4 line %d field count differs: %q vs %q", i, la[i], lb[i])
+			continue
+		}
+		for j := range fa {
+			if ta, okA := parseTime(fa[j]); okA {
+				if tb, okB := parseTime(fb[j]); okB {
+					if relDiff(float64(ta), float64(tb)) > crossSchedTolerance {
+						t.Errorf("table4 cell [%d][%d] differs by >%.0f%% across schedulers: %v vs %v",
+							i, j, crossSchedTolerance*100, ta, tb)
+					}
+					continue
+				}
+			}
+			va, errA := strconv.ParseFloat(fa[j], 64)
+			vb, errB := strconv.ParseFloat(fb[j], 64)
+			if errA == nil && errB == nil {
+				if relDiff(va, vb) > crossSchedTolerance {
+					t.Errorf("table4 cell [%d][%d] differs by >%.0f%% across schedulers: %v vs %v",
+						i, j, crossSchedTolerance*100, va, vb)
+				}
+				continue
+			}
+			if fa[j] != fb[j] {
+				t.Errorf("table4 cell [%d][%d] differs across schedulers: %q vs %q", i, j, fa[j], fb[j])
+			}
+		}
+	}
+}
+
+// TestSchedulerJobsDeterminism re-runs the harness-determinism pin under
+// each backend: a jobs=1 sweep and a jobs=4 sweep must produce identical
+// structural results — the event backend's slot discipline must not make
+// cell results depend on how many cells share the host.
+func TestSchedulerJobsDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a fig5 column twice per scheduler backend")
+	}
+	apps, procs := []string{"FFT"}, []int{1, 4}
+	for _, name := range sim.SchedulerNames() {
+		t.Run(name, func(t *testing.T) {
+			setScheduler(t, name)
+			seq := RunFig5(apps, procs, ScaleTest, nil, 1)
+			par := RunFig5(apps, procs, ScaleTest, nil, 4)
+			for _, app := range apps {
+				for _, p := range procs {
+					for _, backend := range []string{BackendGenima, BackendCables} {
+						s, q := seq[app][p][backend], par[app][p][backend]
+						if (s.Err == nil) != (q.Err == nil) {
+							t.Errorf("%s/%s p=%d: error outcome differs: jobs=1 %v, jobs=4 %v",
+								app, backend, p, s.Err, q.Err)
+							continue
+						}
+						if s.Err != nil {
+							continue
+						}
+						if s.Res.Checksum != q.Res.Checksum {
+							t.Errorf("%s/%s p=%d: checksum differs: %g vs %g",
+								app, backend, p, s.Res.Checksum, q.Res.Checksum)
+						}
+						if s.Res.Misplaced != q.Res.Misplaced {
+							t.Errorf("%s/%s p=%d: misplaced pages differ: %d vs %d",
+								app, backend, p, s.Res.Misplaced, q.Res.Misplaced)
+						}
+						if d := relDiff(float64(s.Res.Parallel), float64(q.Res.Parallel)); d > jitterTolerance {
+							t.Errorf("%s/%s p=%d: parallel time differs by %.1f%%: %v vs %v",
+								app, backend, p, d*100, s.Res.Parallel, q.Res.Parallel)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFig5RaceSmokeEventSched is the event-backend leg of the `make race`
+// data-plane smoke: one fig5 column through the 2-worker harness with the
+// slot-disciplined scheduler under the race detector.
+func TestFig5RaceSmokeEventSched(t *testing.T) {
+	setScheduler(t, sim.SchedEvent)
+	data := RunFig5([]string{"FFT"}, []int{4}, ScaleTest, nil, 2)
+	for _, backend := range []string{BackendGenima, BackendCables} {
+		if err := data["FFT"][4][backend].Err; err != nil {
+			t.Errorf("FFT/%s at 4 procs: %v", backend, err)
+		}
+	}
+}

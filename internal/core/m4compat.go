@@ -40,6 +40,9 @@ type M4Config struct {
 	Fault *fault.Injector
 	// Wire selects the wire plane's opt-in modes.
 	Wire wire.Options
+	// Sched names the thread-manager backend (sim.SchedulerNames); empty
+	// selects the process default (CABLES_SCHED / `cablesim -sched`).
+	Sched string
 }
 
 // NewM4 builds the CableS backend for a P-processor run.
@@ -60,6 +63,7 @@ func NewM4(cfg M4Config) *M4Runtime {
 		CoordinatorMain: true,
 		Fault:           cfg.Fault,
 		Wire:            cfg.Wire,
+		Sched:           cfg.Sched,
 	})
 	rt.Start()
 	return &M4Runtime{

@@ -65,6 +65,9 @@ type Config struct {
 	// Wire selects the wire plane's opt-in modes (contended sync, release
 	// coalescing); the zero value reproduces the default schedule.
 	Wire wire.Options
+	// Sched names the thread-manager backend (sim.SchedulerNames); empty
+	// selects the process default (CABLES_SCHED / `cablesim -sched`).
+	Sched string
 }
 
 // Runtime is one CableS application instance.
@@ -146,6 +149,7 @@ func New(cfg Config) *Runtime {
 		Costs:        cfg.Costs,
 		Fault:        cfg.Fault,
 		Wire:         cfg.Wire,
+		Sched:        cfg.Sched,
 	})
 	rt := &Runtime{cl: cl, cfg: cfg}
 	rt.acb = &ACB{
@@ -365,7 +369,7 @@ func (rt *Runtime) Create(parent *sim.Task, fn func(th *Thread)) *Thread {
 
 	rt.cl.Ctr.Add(node, stats.EvThreadsCreated, 1)
 	rt.cl.Nodes[node].ThreadStarted()
-	go th.run(fn)
+	rt.cl.Sched.Go(th.Task, func() { th.run(fn) })
 	return th
 }
 
@@ -412,10 +416,13 @@ func (th *Thread) finish() {
 // and reading completion state from the ACB.
 func (rt *Runtime) Join(t *sim.Task, th *Thread) {
 	t.CancelPoint()
-	// The joining thread blocks in the OS and releases its processor.
+	// The joining thread blocks in the OS and releases its processor (and
+	// its scheduler slot: the joined thread may need it to finish).
 	node := rt.cl.Nodes[t.NodeID]
 	node.ThreadStopped()
+	rt.cl.Sched.Block(t)
 	<-th.done
+	rt.cl.Sched.Unblock(t)
 	node.ThreadStarted()
 	rt.chargeAdmin(t)
 	t.WaitUntil(th.end)

@@ -33,8 +33,7 @@ func (m *Mutex) Unlock(t *sim.Task) { m.rt.proto.NewLock(m.id).Release(t) }
 
 // condWaiter is one thread parked on a condition variable.
 type condWaiter struct {
-	ch    chan sim.Time
-	node  int
+	t     *sim.Task
 	start sim.Time
 }
 
@@ -84,9 +83,10 @@ func (c *Cond) Wait(th *Thread, mx *Mutex) {
 	// Spin when the node has spare processors; otherwise block on an OS
 	// event and pay the wake-up penalty if the wait outlasts the spin bound.
 	spinning := node.Runnable() <= node.Processors
-	// The waiter parks on the task's reusable grant channel (no per-wait
-	// allocation); see the reuse contract on sim.Task.Grant.
-	w := &condWaiter{ch: t.Grant(), node: t.NodeID, start: t.Now()}
+	// The waiter parks through the scheduler on the task's reusable grant
+	// channel (no per-wait allocation); see the reuse contract on
+	// sim.Task.Grant.
+	w := &condWaiter{t: t, start: t.Now()}
 	c.mu.Lock()
 	c.waiters = append(c.waiters, w)
 	c.mu.Unlock()
@@ -95,10 +95,8 @@ func (c *Cond) Wait(th *Thread, mx *Mutex) {
 	if !spinning {
 		node.ThreadStopped()
 	}
-	var grant sim.Time
-	select {
-	case grant = <-w.ch:
-	case <-th.cancelCh:
+	grant, ok := t.Sched().ParkCancelable(t, th.cancelCh)
+	if !ok {
 		c.mu.Lock()
 		found := false
 		for i, x := range c.waiters {
@@ -114,7 +112,7 @@ func (c *Cond) Wait(th *Thread, mx *Mutex) {
 			// is in flight (or delivered).  Consume it — the wake-up is
 			// dropped, exactly as before, but the reusable channel must not
 			// carry a stale grant into the task's next wait.
-			<-w.ch
+			<-t.Grant()
 		}
 		if !spinning {
 			node.ThreadStarted()
@@ -155,12 +153,12 @@ func (c *Cond) Signal(t *sim.Task) {
 	if w == nil {
 		return
 	}
-	if w.node != t.NodeID {
-		c.rt.cl.Wire.Do(t, wire.Op{Kind: wire.KindCondSignal, Dst: w.node})
+	if w.t.NodeID != t.NodeID {
+		c.rt.cl.Wire.Do(t, wire.Op{Kind: wire.KindCondSignal, Dst: w.t.NodeID})
 	} else {
 		t.Charge(sim.CatLocal, 5*sim.Microsecond)
 	}
-	w.ch <- t.Now()
+	c.rt.cl.Sched.Unpark(w.t, t.Now())
 }
 
 // Broadcast wakes all waiters (pthread_cond_broadcast).  Cost grows with
@@ -178,14 +176,14 @@ func (c *Cond) Broadcast(t *sim.Task) {
 
 	notified := make(map[int]bool)
 	for _, w := range ws {
-		if w.node != t.NodeID && !notified[w.node] {
-			notified[w.node] = true
-			c.rt.cl.Wire.Do(t, wire.Op{Kind: wire.KindCondBcast, Dst: w.node})
+		if w.t.NodeID != t.NodeID && !notified[w.t.NodeID] {
+			notified[w.t.NodeID] = true
+			c.rt.cl.Wire.Do(t, wire.Op{Kind: wire.KindCondBcast, Dst: w.t.NodeID})
 		}
 	}
 	now := t.Now()
 	for _, w := range ws {
-		w.ch <- now
+		c.rt.cl.Sched.Unpark(w.t, now)
 	}
 	c.rt.cl.Ctr.Add(t.NodeID, stats.EvCondSignals, int64(len(ws)))
 }

@@ -11,13 +11,6 @@ import (
 	"cables/internal/wire"
 )
 
-// grantee is one parked contended acquire: the waiter's reusable grant
-// channel plus its node, so the hand-off wire op knows its destination.
-type grantee struct {
-	ch   chan sim.Time
-	node int
-}
-
 // SysLock is a GeNIMA system lock: a cluster-wide mutual-exclusion primitive
 // whose state lives on a manager node and is transferred with direct remote
 // operations.  CableS implements pthread mutexes directly on system locks
@@ -33,7 +26,7 @@ type SysLock struct {
 
 	mu          sync.Mutex
 	held        bool
-	queue       []grantee
+	queue       []*sim.Task // parked contended acquires, FIFO
 	lastRelease sim.Time
 	lastNode    int // node that last held the lock
 	nodeSeen    []bool
@@ -110,13 +103,13 @@ func (l *SysLock) Acquire(t *sim.Task) {
 		l.mu.Unlock()
 	} else {
 		flags |= profile.LockContended
-		// Park on the task's reusable grant channel — no allocation per
-		// contended acquire.  The acquire never abandons the wait, so the
-		// grant is always consumed and the channel stays clean for reuse.
-		ch := t.Grant()
-		l.queue = append(l.queue, grantee{ch: ch, node: t.NodeID})
+		// Park through the scheduler (the task's reusable grant channel —
+		// no allocation per contended acquire).  The acquire never abandons
+		// the wait, so the grant is always consumed and the channel stays
+		// clean for reuse.
+		l.queue = append(l.queue, t)
 		l.mu.Unlock()
-		grant := <-ch // real block until hand-off
+		grant := t.Sched().Park(t) // real block until hand-off
 		t.WaitUntil(grant)
 	}
 	t.MarkSpan(uint8(profile.MarkLockAcquired), uint64(l.id), flags)
@@ -183,9 +176,9 @@ func (l *SysLock) Release(t *sim.Task) {
 		// Hand-off: the waiter resumes at the grant message's delivery
 		// instant (release time plus grant latency; the releaser has moved
 		// on, so the waiter absorbs the latency as wait time).
-		next.ch <- l.p.cl.Wire.DeliverAt(l.lastRelease, wire.Op{
-			Kind: wire.KindLockGrant, Src: t.NodeID, Dst: next.node, Arg: uint64(l.id),
-		})
+		next.Sched().Unpark(next, l.p.cl.Wire.DeliverAt(l.lastRelease, wire.Op{
+			Kind: wire.KindLockGrant, Src: t.NodeID, Dst: next.NodeID, Arg: uint64(l.id),
+		}))
 		return
 	}
 	l.held = false
@@ -201,9 +194,8 @@ type Barrier struct {
 	id   uint64 // name hash; the profiler's barrier key (also picks mgr)
 
 	mu      sync.Mutex
-	cond    *sync.Cond
-	mgr     int // node managing the barrier's arrival counter
-	gen     int
+	mgr     int         // node managing the barrier's arrival counter
+	waiters []*sim.Task // parked parties of the current generation
 	count   int
 	arrived sim.Time // max arrival virtual time this generation
 	release sim.Time // release instant of the previous generation
@@ -223,7 +215,6 @@ func (p *Protocol) NewBarrier(name string) *Barrier {
 		h = (h ^ uint64(c)) * 1099511628211
 	}
 	b := &Barrier{p: p, name: name, id: h, mgr: int(h % uint64(p.cl.NumNodes()))}
-	b.cond = sync.NewCond(&b.mu)
 	p.bars[name] = b
 	return b
 }
@@ -253,19 +244,21 @@ func (b *Barrier) Wait(t *sim.Task, parties int) {
 		b.p.cl.Ctr.Add(t.NodeID, stats.EvBarrierRehomes, 1)
 		inj.NoteRehome(t.NodeID, t.Now(), uint64(len(b.name)))
 	}
-	gen := b.gen
 	if now := t.Now(); now > b.arrived {
 		b.arrived = now
 	}
 	b.count++
+	var release sim.Time
 	switch {
 	case b.count > parties:
 		b.mu.Unlock()
 		panic(fmt.Sprintf("genima: barrier %q overfilled (%d > %d parties)",
 			b.name, b.count, parties))
 	case b.count == parties:
-		b.release = b.arrived
-		b.gen++
+		release = b.arrived
+		b.release = release
+		ws := b.waiters
+		b.waiters = nil
 		b.count = 0
 		b.arrived = 0
 		if b.p.Epochs != nil {
@@ -273,14 +266,17 @@ func (b *Barrier) Wait(t *sim.Task, parties int) {
 			// the release instant for the per-epoch windows.
 			b.p.Epochs.Mark(b.name, int64(b.release))
 		}
-		b.cond.Broadcast()
-	default:
-		for gen == b.gen {
-			b.cond.Wait()
+		b.mu.Unlock()
+		for _, w := range ws {
+			w.Sched().Unpark(w, release)
 		}
+	default:
+		// Park until the last arriver releases the generation; the grant
+		// carries the release instant.
+		b.waiters = append(b.waiters, t)
+		b.mu.Unlock()
+		release = t.Sched().Park(t)
 	}
-	release := b.release
-	b.mu.Unlock()
 
 	t.WaitUntil(release)
 	if b.p.Trace != nil {

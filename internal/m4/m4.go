@@ -50,6 +50,9 @@ type Config struct {
 	// Wire selects the wire plane's opt-in modes (contended sync, release
 	// coalescing); the zero value reproduces the default schedule.
 	Wire wire.Options
+	// Sched names the thread-manager backend (sim.SchedulerNames); empty
+	// selects the process default (CABLES_SCHED / `cablesim -sched`).
+	Sched string
 }
 
 // New builds a base-system runtime.  All nodes required for Procs are
@@ -71,6 +74,7 @@ func New(cfg Config) *Runtime {
 		Costs:        cfg.Costs,
 		Fault:        cfg.Fault,
 		Wire:         cfg.Wire,
+		Sched:        cfg.Sched,
 	})
 	rt := &Runtime{
 		cl:    cl,
@@ -127,7 +131,7 @@ func (rt *Runtime) Spawn(parent *sim.Task, fn func(t *sim.Task)) int {
 	child := rt.cl.NewTask(node, parent.Now())
 	rt.cl.Ctr.Add(node, stats.EvThreadsCreated, 1)
 	rt.cl.Nodes[node].ThreadStarted()
-	go func() {
+	rt.cl.Sched.Go(child, func() {
 		defer func() {
 			r := recover()
 			rt.proto.Flush(child) // exit has release semantics
@@ -144,7 +148,7 @@ func (rt *Runtime) Spawn(parent *sim.Task, fn func(t *sim.Task)) int {
 		}()
 		rt.proto.ApplyAcquire(child)
 		fn(child)
-	}()
+	})
 	return id
 }
 
@@ -156,11 +160,14 @@ func (rt *Runtime) Join(parent *sim.Task, id int) {
 	if !ok {
 		panic(fmt.Sprintf("m4: join of unknown thread %d", id))
 	}
-	// The joining thread blocks in the OS and releases its processor.
+	// The joining thread blocks in the OS and releases its processor (and
+	// its scheduler slot: the join waits on the child's real progress).
 	node := rt.cl.Nodes[parent.NodeID]
 	node.ThreadStopped()
+	rt.cl.Sched.Block(parent)
 	end := <-ch
 	ch <- end // allow repeated joins from WAIT_FOR_END sweeps
+	rt.cl.Sched.Unblock(parent)
 	node.ThreadStarted()
 	parent.WaitUntil(end)
 	rt.proto.ApplyAcquire(parent) // join has acquire semantics

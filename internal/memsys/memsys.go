@@ -104,8 +104,12 @@ type Space struct {
 	size     int64
 	numPages int
 
-	// pages[node][pid] is node's copy of page pid, created on demand.
-	pages [][]atomic.Pointer[PageCopy]
+	// pages[node][pid>>pageChunkShift] groups node's page-copy slots into
+	// chunks created on demand.  Two levels keep a fresh space cheap: a
+	// flat nodes×numPages slot array for a 256 MB arena is megabytes of
+	// zeroed, GC-scanned pointers per simulation, which dominated the
+	// experiment harness's wall-clock cost before chunking.
+	pages [][]atomic.Pointer[pageChunk]
 
 	// flush[node] is the node's writer/flusher lock: shared-memory loads and
 	// stores hold it shared, interval flushes and acquire-side invalidations
@@ -119,11 +123,12 @@ type Space struct {
 	// nodes' locks sharing a line would ping-pong across host cores.
 	flush []flushLock
 
-	// home[pid] is the node holding the primary copy, or NoHome.
+	// home[pid] is the node holding the primary copy, stored biased by +1
+	// so the zero value means NoHome and a fresh space needs no init sweep.
 	home []atomic.Int32
 	// toucher[pid] is the node that first accessed the page, recorded at
-	// 4 KB granularity; this is the reference placement against which
-	// CableS's map-unit-granularity homes are compared (Figure 6).
+	// 4 KB granularity (same bias); this is the reference placement against
+	// which CableS's map-unit-granularity homes are compared (Figure 6).
 	toucher []atomic.Int32
 
 	allocMu sync.Mutex
@@ -136,6 +141,14 @@ type flushLock struct {
 	sync.RWMutex
 	_ [(cacheLine - unsafe.Sizeof(sync.RWMutex{})%cacheLine) % cacheLine]byte
 }
+
+// pageChunk is one on-demand block of page-copy slots (2 MB of arena).
+type pageChunk [pageChunkSize]atomic.Pointer[PageCopy]
+
+const (
+	pageChunkShift = 9
+	pageChunkSize  = 1 << pageChunkShift
+)
 
 // cacheLine is the assumed false-sharing granularity of the host.
 const cacheLine = 64
@@ -153,22 +166,19 @@ func NewSpace(nodes int, size int64) *Space {
 		panic(fmt.Sprintf("memsys: bad space geometry nodes=%d size=%d", nodes, size))
 	}
 	np := int((size + PageSize - 1) / PageSize)
+	nc := (np + pageChunkSize - 1) >> pageChunkShift
 	s := &Space{
 		nodes:    nodes,
 		size:     int64(np) * PageSize,
 		numPages: np,
-		pages:    make([][]atomic.Pointer[PageCopy], nodes),
+		pages:    make([][]atomic.Pointer[pageChunk], nodes),
 		flush:    make([]flushLock, nodes),
 		home:     make([]atomic.Int32, np),
 		toucher:  make([]atomic.Int32, np),
 		next:     SpaceBase,
 	}
 	for n := range s.pages {
-		s.pages[n] = make([]atomic.Pointer[PageCopy], np)
-	}
-	for i := range s.home {
-		s.home[i].Store(NoHome)
-		s.toucher[i].Store(NoHome)
+		s.pages[n] = make([]atomic.Pointer[pageChunk], nc)
 	}
 	return s
 }
@@ -201,9 +211,20 @@ func (s *Space) PageOf(a Addr) PageID {
 // PageAddr returns the first address of page pid.
 func (s *Space) PageAddr(pid PageID) Addr { return SpaceBase + Addr(pid)<<PageShift }
 
-// Copy returns node's copy of page pid, creating the descriptor on demand.
+// Copy returns node's copy of page pid, creating the descriptor (and its
+// chunk) on demand.
 func (s *Space) Copy(node int, pid PageID) *PageCopy {
-	slot := &s.pages[node][pid]
+	cslot := &s.pages[node][pid>>pageChunkShift]
+	ch := cslot.Load()
+	if ch == nil {
+		fresh := new(pageChunk)
+		if cslot.CompareAndSwap(nil, fresh) {
+			ch = fresh
+		} else {
+			ch = cslot.Load()
+		}
+	}
+	slot := &ch[pid&(pageChunkSize-1)]
 	if pc := slot.Load(); pc != nil {
 		return pc
 	}
@@ -215,28 +236,28 @@ func (s *Space) Copy(node int, pid PageID) *PageCopy {
 }
 
 // Home returns the page's home node, or NoHome as an int (-1).
-func (s *Space) Home(pid PageID) int { return int(s.home[pid].Load()) }
+func (s *Space) Home(pid PageID) int { return int(s.home[pid].Load()) - 1 }
 
 // SetHome forcibly places the primary copy of pid on node (static placement
 // in the base system; migration in CableS).
-func (s *Space) SetHome(pid PageID, node int) { s.home[pid].Store(int32(node)) }
+func (s *Space) SetHome(pid PageID, node int) { s.home[pid].Store(int32(node) + 1) }
 
 // TryFirstTouch sets node as home if the page is unplaced, returning the
 // page's home after the operation and whether this call placed it.
 func (s *Space) TryFirstTouch(pid PageID, node int) (home int, placed bool) {
-	if s.home[pid].CompareAndSwap(NoHome, int32(node)) {
+	if s.home[pid].CompareAndSwap(0, int32(node)+1) {
 		return node, true
 	}
-	return int(s.home[pid].Load()), false
+	return int(s.home[pid].Load()) - 1, false
 }
 
 // RecordToucher records node as the page's 4 KB-granularity first toucher.
 func (s *Space) RecordToucher(pid PageID, node int) {
-	s.toucher[pid].CompareAndSwap(NoHome, int32(node))
+	s.toucher[pid].CompareAndSwap(0, int32(node)+1)
 }
 
 // Toucher returns the 4 KB-granularity first toucher, or -1.
-func (s *Space) Toucher(pid PageID) int { return int(s.toucher[pid].Load()) }
+func (s *Space) Toucher(pid PageID) int { return int(s.toucher[pid].Load()) - 1 }
 
 // AllocSegment carves size bytes out of the arena, aligned to align (which
 // must be a power of two; 0 means 64).  It returns the segment start.
@@ -285,7 +306,7 @@ func (s *Space) Used() int64 {
 func (s *Space) MisplacedPages() (misplaced, total int) {
 	for pid := 0; pid < s.numPages; pid++ {
 		ref := s.toucher[pid].Load()
-		if ref == NoHome {
+		if ref == 0 {
 			continue
 		}
 		total++

@@ -87,6 +87,10 @@ type Cluster struct {
 	// Wire is the typed operation plane all cross-node traffic goes
 	// through (internal/wire).
 	Wire *wire.Plane
+	// Sched is the simulation's thread-manager backend; every task the
+	// cluster creates is bound to it (one scheduler instance per
+	// simulation, so concurrent harness cells never share run queues).
+	Sched sim.Scheduler
 	// Fault is the installed fault injector (nil when faults are disabled).
 	Fault *fault.Injector
 	// Prof, when set (bench.AttachProfiler), adopts every task the cluster
@@ -113,6 +117,9 @@ type Config struct {
 	// Wire selects the wire plane's opt-in modes (contended sync, release
 	// coalescing); the zero value reproduces the default schedule.
 	Wire wire.Options
+	// Sched names the thread-manager backend (sim.SchedulerNames); empty
+	// selects the process default (CABLES_SCHED / `cablesim -sched`).
+	Sched string
 }
 
 // NewCluster builds a cluster.
@@ -140,6 +147,7 @@ func NewCluster(cfg Config) *Cluster {
 		Fabric: fab,
 		VMMC:   vmmc.NewSystem(fab, limits),
 		Fault:  cfg.Fault,
+		Sched:  sim.NewScheduler(cfg.Sched),
 	}
 	cl.Wire = wire.New(fab, cl.VMMC, cfg.Wire)
 	if cfg.Fault != nil {
@@ -167,6 +175,7 @@ func (c *Cluster) TotalProcessors() int {
 // start, with the node's load-factor hook installed.
 func (c *Cluster) NewTask(node int, start sim.Time) *sim.Task {
 	t := sim.NewTask(int(c.taskSeq.Add(1)), node, c.Costs)
+	t.BindScheduler(c.Sched)
 	t.SetNow(start)
 	t.Load = c.Nodes[node].LoadFactor
 	if c.Prof != nil {

@@ -58,6 +58,9 @@ type Config struct {
 	ProcsPerNode int
 	ArenaBytes   int64
 	Costs        *sim.Costs
+	// Sched names the thread-manager backend (sim.SchedulerNames); empty
+	// selects the process default (CABLES_SCHED / `cablesim -sched`).
+	Sched string
 }
 
 // New builds an OpenMP runtime over a fresh CableS instance.
@@ -75,6 +78,7 @@ func New(cfg Config) *Runtime {
 		ArenaBytes:      cfg.ArenaBytes,
 		Costs:           cfg.Costs,
 		CoordinatorMain: true,
+		Sched:           cfg.Sched,
 	})
 	rt.Start()
 	return &Runtime{rt: rt, procs: cfg.Procs, crit: make(map[string]*cables.Mutex)}
@@ -132,11 +136,15 @@ func (r *Runtime) ensurePool() {
 		return
 	}
 	main := r.rt.Main().Task
+	sched := r.rt.Cluster().Sched
 	r.pool = make([]*poolWorker, r.procs)
 	for i := range r.pool {
 		w := &poolWorker{
 			work: make(chan func(th *cables.Thread)),
-			done: make(chan sim.Time),
+			// Buffered: a worker must be able to post its region end and
+			// return to the idle wait without holding its scheduler slot
+			// hostage while the master is still collecting other workers.
+			done: make(chan sim.Time, 1),
 		}
 		r.pool[i] = w
 		r.record(main, "create", func() {
@@ -144,7 +152,9 @@ func (r *Runtime) ensurePool() {
 				node := r.rt.Cluster().Nodes[th.Task.NodeID]
 				for {
 					node.ThreadStopped() // idle between regions
+					sched.Block(th.Task) // release the slot while idle
 					fn, ok := <-w.work
+					sched.Unblock(th.Task)
 					node.ThreadStarted()
 					if !ok {
 						break

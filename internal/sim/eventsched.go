@@ -1,0 +1,367 @@
+package sim
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// preemptSlack is how far ahead of the earliest ready peer (in virtual
+// time) a running task may compute before Preempt hands its slot over.  A
+// generous slack bounds the host cost of leapfrog switching — virtual
+// compute is nearly free on the host, so switching at every quantum would
+// cost more wall-clock than it saves — while still keeping dynamic-queue
+// work distribution close to virtual-time order.
+const preemptSlack = 20 * schedQuantum
+
+// emptyKey is the ready-queue minimum when nothing is queued.
+const emptyKey = math.MaxInt64
+
+// EventScheduler is the event-driven backend: a virtual-time-ordered run
+// queue — one min-heap per simulated node, a top-level heap over the nodes'
+// earliest entries (the hierarchical run-queue shape of Thibault's flexible
+// scheduler for hierarchical machines) — feeding a bounded pool of host
+// execution slots.
+//
+// Managed tasks still own a goroutine each (application code blocks for
+// real), but the scheduler decides which of them execute: a task runs only
+// while holding one of Workers slots, releases the slot when it parks or
+// blocks, and rejoins the run queue keyed by its virtual clock when it
+// becomes ready.  Slots are granted strictly to the earliest queued task,
+// so real execution order tracks virtual-time order by construction and no
+// per-charge host yields (runtime.Gosched) are needed at all — the saving
+// that makes this backend fast on oversubscribed hosts.
+//
+// Unmanaged tasks (main/coordinator threads) are not slot-disciplined;
+// their park/unpark degrade to the plain channel hand-off.
+type EventScheduler struct {
+	workers int
+
+	mu    sync.Mutex
+	free  int          // unheld execution slots; > 0 implies empty queues
+	nodes []*nodeQueue // lazily created per-node sub-queues, by node id
+	order nodeHeap     // non-empty sub-queues, keyed by their earliest entry
+	seq   uint64       // global FIFO tiebreak for equal virtual keys
+
+	// minReady caches the earliest queued key (emptyKey when none) so
+	// Preempt's fast path is one atomic load, no lock.
+	minReady atomic.Int64
+}
+
+// NewEventScheduler builds an event scheduler with the given slot count;
+// workers <= 0 selects GOMAXPROCS.  One slot gives a fully serialized,
+// deterministic interleaving; more slots trade determinism of virtual-time
+// jitter for host parallelism inside a single simulation.
+func NewEventScheduler(workers int) *EventScheduler {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &EventScheduler{workers: workers, free: workers}
+	s.minReady.Store(emptyKey)
+	return s
+}
+
+// Name implements Scheduler.
+func (s *EventScheduler) Name() string { return SchedEvent }
+
+// Workers returns the execution-slot count.
+func (s *EventScheduler) Workers() int { return s.workers }
+
+// eventTask is the per-managed-task scheduler state, owned by the task's
+// goroutine except for the queue fields, which s.mu guards.
+type eventTask struct {
+	t     *Task
+	token chan struct{} // slot grant; buffered so dispatch never blocks
+	key   Time          // queued virtual instant
+	seq   uint64        // FIFO tiebreak
+	pos   int           // index within the node sub-heap
+}
+
+// Go implements Scheduler: the task's goroutine starts immediately but fn
+// runs only once the task is admitted to a slot, and the slot is returned
+// when fn unwinds.
+func (s *EventScheduler) Go(t *Task, fn func()) {
+	et := &eventTask{t: t, token: make(chan struct{}, 1), pos: -1}
+	t.evt = et
+	go func() {
+		s.ready(et, t.Now())
+		defer s.releaseSlot()
+		fn()
+	}()
+}
+
+// Park implements Scheduler: give up the slot, wait for the hand-off, then
+// rejoin the run queue at the granted instant.
+func (s *EventScheduler) Park(t *Task) Time {
+	et := t.evt
+	if et == nil {
+		return <-t.grant
+	}
+	s.releaseSlot()
+	v := <-t.grant
+	s.ready(et, MaxTime(t.Now(), v))
+	return v
+}
+
+// ParkCancelable implements Scheduler.  Both outcomes readmit the task
+// before returning, so an abandoning primitive may drain an in-flight grant
+// while holding its slot: granters never need a slot between claiming a
+// waiter and delivering (the grant channel is buffered), so the drain
+// cannot deadlock the pool.
+func (s *EventScheduler) ParkCancelable(t *Task, cancel <-chan struct{}) (Time, bool) {
+	et := t.evt
+	if et == nil {
+		select {
+		case v := <-t.grant:
+			return v, true
+		case <-cancel:
+			return 0, false
+		}
+	}
+	s.releaseSlot()
+	select {
+	case v := <-t.grant:
+		s.ready(et, MaxTime(t.Now(), v))
+		return v, true
+	case <-cancel:
+		s.ready(et, t.Now())
+		return 0, false
+	}
+}
+
+// Unpark implements Scheduler.
+func (s *EventScheduler) Unpark(t *Task, v Time) { t.grant <- v }
+
+// Yield implements Scheduler: charges may occur under the simulator's host
+// mutexes, where blocking for readmission could deadlock the slot pool —
+// and admission order already tracks virtual time, so there is nothing to
+// do.  This no-op is what removes the goroutine backend's per-quantum
+// Gosched cost.
+func (s *EventScheduler) Yield(*Task) {}
+
+// Preempt implements Scheduler: at a safe point (no host locks held), hand
+// the slot over when a ready peer has fallen more than preemptSlack behind
+// this task's virtual clock.
+func (s *EventScheduler) Preempt(t *Task) {
+	et := t.evt
+	if et == nil {
+		return
+	}
+	if now := t.Now(); now < preemptSlack || Time(s.minReady.Load()) > now-preemptSlack {
+		return
+	}
+	s.releaseSlot()
+	s.ready(et, t.Now())
+}
+
+// Block implements Scheduler: release the slot around a raw host-blocking
+// operation.
+func (s *EventScheduler) Block(t *Task) {
+	if t.evt != nil {
+		s.releaseSlot()
+	}
+}
+
+// Unblock implements Scheduler: rejoin the run queue after a raw block.
+func (s *EventScheduler) Unblock(t *Task) {
+	if et := t.evt; et != nil {
+		s.ready(et, t.Now())
+	}
+}
+
+// ready queues et at virtual instant key and blocks until a slot is
+// granted.
+func (s *EventScheduler) ready(et *eventTask, key Time) {
+	s.mu.Lock()
+	et.key = key
+	s.seq++
+	et.seq = s.seq
+	s.pushLocked(et)
+	s.dispatchLocked()
+	s.mu.Unlock()
+	<-et.token
+}
+
+// releaseSlot returns the caller's slot to the pool and hands it to the
+// earliest queued task, if any.
+func (s *EventScheduler) releaseSlot() {
+	s.mu.Lock()
+	s.free++
+	s.dispatchLocked()
+	s.mu.Unlock()
+}
+
+// dispatchLocked grants free slots to queued tasks in (key, seq) order and
+// refreshes the cached minimum.  Caller holds s.mu.
+func (s *EventScheduler) dispatchLocked() {
+	for s.free > 0 && len(s.order) > 0 {
+		et := s.popMinLocked()
+		s.free--
+		et.token <- struct{}{}
+	}
+	if len(s.order) == 0 {
+		s.minReady.Store(emptyKey)
+	} else {
+		s.minReady.Store(int64(s.order[0].min().key))
+	}
+}
+
+// nodeQueue is one simulated node's sub-queue: a min-heap of ready tasks
+// on that node, ordered by (key, seq).
+type nodeQueue struct {
+	node int
+	heap []*eventTask
+	pos  int // index in the top-level order heap, -1 when empty
+}
+
+func (nq *nodeQueue) min() *eventTask { return nq.heap[0] }
+
+func taskLess(a, b *eventTask) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.seq < b.seq
+}
+
+// pushLocked inserts et into its node's sub-queue and repositions the node
+// in the top-level heap.  Caller holds s.mu.
+func (s *EventScheduler) pushLocked(et *eventTask) {
+	node := et.t.NodeID
+	for node >= len(s.nodes) {
+		s.nodes = append(s.nodes, nil)
+	}
+	nq := s.nodes[node]
+	if nq == nil {
+		nq = &nodeQueue{node: node, pos: -1}
+		s.nodes[node] = nq
+	}
+	nq.heap = append(nq.heap, et)
+	et.pos = len(nq.heap) - 1
+	nq.siftUp(et.pos)
+	if nq.pos < 0 {
+		s.order.push(nq)
+	} else {
+		s.order.fix(nq.pos)
+	}
+}
+
+// popMinLocked removes and returns the globally earliest task.  Caller
+// holds s.mu and guarantees the queue is non-empty.
+func (s *EventScheduler) popMinLocked() *eventTask {
+	nq := s.order[0]
+	et := nq.heap[0]
+	last := len(nq.heap) - 1
+	nq.heap[0] = nq.heap[last]
+	nq.heap[0].pos = 0
+	nq.heap[last] = nil
+	nq.heap = nq.heap[:last]
+	if last > 0 {
+		nq.siftDown(0)
+	}
+	et.pos = -1
+	if len(nq.heap) == 0 {
+		s.order.remove(nq.pos)
+		nq.pos = -1
+	} else {
+		s.order.fix(nq.pos)
+	}
+	return et
+}
+
+func (nq *nodeQueue) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !taskLess(nq.heap[i], nq.heap[p]) {
+			break
+		}
+		nq.heap[i], nq.heap[p] = nq.heap[p], nq.heap[i]
+		nq.heap[i].pos, nq.heap[p].pos = i, p
+		i = p
+	}
+}
+
+func (nq *nodeQueue) siftDown(i int) {
+	n := len(nq.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && taskLess(nq.heap[l], nq.heap[m]) {
+			m = l
+		}
+		if r < n && taskLess(nq.heap[r], nq.heap[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		nq.heap[i], nq.heap[m] = nq.heap[m], nq.heap[i]
+		nq.heap[i].pos, nq.heap[m].pos = i, m
+		i = m
+	}
+}
+
+// nodeHeap is the top-level min-heap over non-empty node sub-queues,
+// keyed by each node's earliest (key, seq).
+type nodeHeap []*nodeQueue
+
+func nodeLess(a, b *nodeQueue) bool { return taskLess(a.min(), b.min()) }
+
+func (h *nodeHeap) push(nq *nodeQueue) {
+	*h = append(*h, nq)
+	nq.pos = len(*h) - 1
+	h.up(nq.pos)
+}
+
+// remove deletes the sub-queue at index i.
+func (h *nodeHeap) remove(i int) {
+	q := *h
+	last := len(q) - 1
+	if i != last {
+		q[i] = q[last]
+		q[i].pos = i
+	}
+	q[last] = nil
+	*h = q[:last]
+	if i != last {
+		h.fix(i)
+	}
+}
+
+// fix restores heap order after the key at index i changed.
+func (h *nodeHeap) fix(i int) {
+	h.up(i)
+	h.down(i)
+}
+
+func (h nodeHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !nodeLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		h[i].pos, h[p].pos = i, p
+		i = p
+	}
+}
+
+func (h nodeHeap) down(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && nodeLess(h[l], h[m]) {
+			m = l
+		}
+		if r < n && nodeLess(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		h[i].pos, h[m].pos = i, m
+		i = m
+	}
+}

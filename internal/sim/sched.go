@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+)
+
+// Scheduler is the thread-manager interface behind which the simulator's
+// goroutine-per-thread machinery lives (the BRU thread-manager pattern:
+// spawn/park/unpark/yield behind one vtable so policies can be swapped).
+// One Scheduler instance manages the tasks of one simulation (one cluster);
+// independent simulations running concurrently on the host (bench.RunCells)
+// each have their own instance.
+//
+// Two kinds of task interact with a scheduler:
+//
+//   - managed tasks, spawned through Go — the worker threads of a run.  A
+//     backend may discipline when a managed task's goroutine actually
+//     executes (the event backend admits them in virtual-time order through
+//     a bounded slot pool);
+//   - unmanaged tasks — main/coordinator tasks whose goroutine the harness
+//     owns.  Every method must accept them; park/unpark degrade to a plain
+//     channel hand-off and the admission hooks to no-ops.
+//
+// The park/unpark pair rides the task's reusable grant channel (Task.Grant):
+// a parked task is blocked in exactly one primitive at a time, so at most
+// one grant is ever outstanding and Unpark never blocks.  Primitives that
+// abandon a wait (cancellation) must drain an in-flight grant before the
+// channel is reused — see ParkCancelable.
+type Scheduler interface {
+	// Name identifies the backend ("goroutine", "event").
+	Name() string
+
+	// Go spawns fn as the body of managed task t.  The backend owns the
+	// goroutine: it may defer execution until t is admitted.  fn must fully
+	// unwind its own panics except through the spawner's recovery; when fn
+	// returns, the task is retired from the scheduler.
+	Go(t *Task, fn func())
+
+	// Park blocks t until a peer delivers a hand-off instant via Unpark,
+	// and returns that instant.  Called only by t's owner goroutine.
+	Park(t *Task) Time
+
+	// ParkCancelable is Park that also unblocks when cancel is closed.
+	// It returns (grant, true) on a normal hand-off and (0, false) when the
+	// wait was abandoned; in the latter case a grant may still be in flight
+	// and the abandoning primitive must drain it (Task.Grant reuse
+	// contract) before the task parks again.
+	ParkCancelable(t *Task, cancel <-chan struct{}) (Time, bool)
+
+	// Unpark delivers hand-off instant v to parked task t.  Never blocks:
+	// the grant channel is buffered and at most one grant is outstanding.
+	Unpark(t *Task, v Time)
+
+	// Yield is the quantum hint Task.Charge raises every schedQuantum of
+	// charged virtual time.  It must never block: charges occur under the
+	// simulator's internal host mutexes (lock, cond and barrier state).
+	// The goroutine backend yields the host CPU; the event backend ignores
+	// it, because admission order already tracks virtual time.
+	Yield(t *Task)
+
+	// Preempt is a safe-point reschedule: the caller holds no host locks
+	// and is prepared to block until readmitted.  Task.Compute calls it so
+	// a task that has run far ahead in virtual time hands the host to the
+	// earliest runnable peer.  No-op for unmanaged tasks.
+	Preempt(t *Task)
+
+	// Block and Unblock bracket a raw host-blocking operation outside the
+	// scheduler's park path (a join's done-channel receive, a worker pool's
+	// idle receive).  Block releases the task's execution admission before
+	// the operation; Unblock reacquires it after.  No-ops for unmanaged
+	// tasks.
+	Block(t *Task)
+	Unblock(t *Task)
+}
+
+// Scheduler backend names.
+const (
+	// SchedGoroutine runs every simulated thread as a free goroutine and
+	// keeps real execution roughly aligned with virtual time by yielding
+	// the host CPU every charged quantum (the original machinery).
+	SchedGoroutine = "goroutine"
+	// SchedEvent admits simulated threads in virtual-time order from
+	// per-node run queues through a bounded pool of host execution slots,
+	// paying no per-charge yields (see EventScheduler).
+	SchedEvent = "event"
+)
+
+// schedulerNames lists the registered backends as string literals:
+// cmd/doccheck parses this literal to keep the EXPERIMENTS.md -sched
+// documentation in sync, and TestSchedulerRegistry pins it to the
+// constants above.
+var schedulerNames = []string{"goroutine", "event"}
+
+// SchedulerNames returns the registered backend names in registration order.
+func SchedulerNames() []string {
+	return append([]string(nil), schedulerNames...)
+}
+
+// defaultSched is the process-wide default backend name, settable by the
+// CABLES_SCHED environment variable (read at init, how CI runs the test
+// matrix) and the `cablesim -sched` flag (SetDefaultScheduler).
+var defaultSched atomic.Pointer[string]
+
+func init() {
+	name := SchedGoroutine
+	if env := os.Getenv("CABLES_SCHED"); env != "" {
+		if !validSchedName(env) {
+			panic(fmt.Sprintf("sim: CABLES_SCHED=%q is not a scheduler backend (have %v)",
+				env, schedulerNames))
+		}
+		name = env
+	}
+	defaultSched.Store(&name)
+}
+
+func validSchedName(name string) bool {
+	for _, n := range schedulerNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultSchedulerName returns the process-wide default backend name.
+func DefaultSchedulerName() string { return *defaultSched.Load() }
+
+// SetDefaultScheduler selects the default backend for subsequently created
+// clusters (the `cablesim -sched` plumbing).  Running simulations keep the
+// scheduler they were built with.
+func SetDefaultScheduler(name string) error {
+	if !validSchedName(name) {
+		return fmt.Errorf("sim: unknown scheduler backend %q (have %v)", name, schedulerNames)
+	}
+	defaultSched.Store(&name)
+	return nil
+}
+
+// NewScheduler builds a fresh scheduler instance for one simulation.  The
+// empty name selects the process default.
+func NewScheduler(name string) Scheduler {
+	if name == "" {
+		name = DefaultSchedulerName()
+	}
+	switch name {
+	case SchedGoroutine:
+		return goroutineSched{}
+	case SchedEvent:
+		return NewEventScheduler(0)
+	default:
+		panic(fmt.Sprintf("sim: unknown scheduler backend %q (have %v)", name, schedulerNames))
+	}
+}
+
+// goroutineSched is the original backend: one free-running goroutine per
+// simulated thread, channel hand-offs, and a host-CPU yield every charged
+// quantum so the Go scheduler's real execution order tracks virtual time
+// well enough for work distribution through dynamic queues.  It is
+// stateless; all instances are equivalent.
+type goroutineSched struct{}
+
+// Name implements Scheduler.
+func (goroutineSched) Name() string { return SchedGoroutine }
+
+// Go implements Scheduler: the goroutine runs immediately and freely.
+func (goroutineSched) Go(t *Task, fn func()) { go fn() }
+
+// Park implements Scheduler.
+func (goroutineSched) Park(t *Task) Time { return <-t.grant }
+
+// ParkCancelable implements Scheduler.
+func (goroutineSched) ParkCancelable(t *Task, cancel <-chan struct{}) (Time, bool) {
+	select {
+	case v := <-t.grant:
+		return v, true
+	case <-cancel:
+		return 0, false
+	}
+}
+
+// Unpark implements Scheduler.
+func (goroutineSched) Unpark(t *Task, v Time) { t.grant <- v }
+
+// Yield implements Scheduler: hand the host CPU to another goroutine.
+func (goroutineSched) Yield(*Task) { runtime.Gosched() }
+
+// Preempt implements Scheduler: free goroutines need no safe-point switch.
+func (goroutineSched) Preempt(*Task) {}
+
+// Block implements Scheduler: free goroutines may block anywhere.
+func (goroutineSched) Block(*Task) {}
+
+// Unblock implements Scheduler.
+func (goroutineSched) Unblock(*Task) {}

@@ -2,16 +2,17 @@ package sim
 
 import (
 	"errors"
-	"runtime"
 	"sync/atomic"
 )
 
 // schedQuantum is how much charged virtual time a task may accumulate
-// before yielding the host CPU.  Yielding keeps the real execution order of
-// goroutines roughly aligned with virtual-time order, which matters for
-// work distribution through dynamic queues (task stealing): without it one
-// goroutine can drain a whole queue in real time while its peers — earlier
-// in virtual time — never get scheduled.
+// before raising the scheduler backend's Yield hint.  Keeping real
+// execution order roughly aligned with virtual-time order matters for work
+// distribution through dynamic queues (task stealing): without it one
+// thread can drain a whole queue in real time while its peers — earlier in
+// virtual time — never get scheduled.  The goroutine backend answers the
+// hint with runtime.Gosched; the event backend ignores it, because its
+// run-queue admission is virtual-time-ordered by construction.
 const schedQuantum = 50 * Microsecond
 
 // ErrCanceled is the panic value used to unwind a simulated thread that has
@@ -61,7 +62,15 @@ type Task struct {
 	Load func() float64
 
 	costs     *Costs
-	schedDebt Time // charged time since the last host-CPU yield
+	schedDebt Time // charged time since the last scheduler yield
+
+	// sched is the thread-manager backend the task runs under; NewTask
+	// binds the goroutine backend and nodeos.Cluster.NewTask rebinds to the
+	// cluster's scheduler.  evt is the event backend's per-task state, nil
+	// for unmanaged tasks and under every other backend — primitives use it
+	// as the zero-cost "is this task slot-disciplined" check.
+	sched Scheduler
+	evt   *eventTask
 
 	// prof is the attached span probe, nil when no profiler is observing
 	// the run.  Set before the task's goroutine starts (or by the owner);
@@ -80,23 +89,27 @@ type Task struct {
 }
 
 // NewTask returns a task with the given identifiers running against the cost
-// table c.
+// table c.  The grant channel is allocated eagerly: a releaser may Unpark a
+// task from another goroutine before the task's own first park, so lazy
+// creation would race.
 func NewTask(id, node int, c *Costs) *Task {
-	return &Task{ID: id, NodeID: node, costs: c}
+	return &Task{ID: id, NodeID: node, costs: c, sched: goroutineSched{},
+		grant: make(chan Time, 1)}
 }
 
 // Costs returns the task's cost table.
 func (t *Task) Costs() *Costs { return t.costs }
 
-// Grant returns the task's reusable hand-off channel (buffered, capacity 1),
-// creating it on first use.  Call only from the owner goroutine, immediately
-// before parking on it; see the field comment for the reuse contract.
-func (t *Task) Grant() chan Time {
-	if t.grant == nil {
-		t.grant = make(chan Time, 1)
-	}
-	return t.grant
-}
+// Sched returns the task's scheduler backend.
+func (t *Task) Sched() Scheduler { return t.sched }
+
+// BindScheduler attaches the task to a scheduler backend.  Call before the
+// task's goroutine starts (nodeos.Cluster.NewTask does).
+func (t *Task) BindScheduler(s Scheduler) { t.sched = s }
+
+// Grant returns the task's reusable hand-off channel (buffered, capacity 1);
+// see the field comment for the reuse contract.
+func (t *Task) Grant() chan Time { return t.grant }
 
 // Now returns the task's current virtual time.
 func (t *Task) Now() Time { return Time(t.clock.Load()) }
@@ -105,7 +118,12 @@ func (t *Task) Now() Time { return Time(t.clock.Load()) }
 // current time).
 func (t *Task) SetNow(v Time) { t.clock.Store(int64(v)) }
 
-// Charge advances the clock by d and attributes it to category cat.
+// Charge advances the clock by d and attributes it to category cat.  Every
+// schedQuantum of charged time raises the backend's Yield hint; the debt
+// keeps its sub-quantum remainder so yield pacing stays proportional to
+// virtual progress across charges of any size.  Yield must not block —
+// charges occur under the simulator's internal host mutexes — which is why
+// clock-ordered switching has its own safe point (Compute/Preempt).
 func (t *Task) Charge(cat Category, d Time) {
 	if d <= 0 {
 		return
@@ -114,8 +132,8 @@ func (t *Task) Charge(cat Category, d Time) {
 	t.brk.Add(cat, d)
 	t.schedDebt += d
 	if t.schedDebt >= schedQuantum {
-		t.schedDebt = 0
-		runtime.Gosched()
+		t.schedDebt -= schedQuantum
+		t.sched.Yield(t)
 	}
 }
 
@@ -130,7 +148,9 @@ func (t *Task) Attribute(cat Category, d Time) {
 
 // Compute charges application computation of duration d, dilated by the
 // node's current load factor (threads time-share processors) and by the cost
-// table's compute scale.
+// table's compute scale.  Compute is also the scheduler's safe point: the
+// caller holds no host locks here, so a slot-disciplined task that has run
+// far ahead in virtual time may block until readmitted (event backend).
 func (t *Task) Compute(d Time) {
 	if d <= 0 {
 		return
@@ -140,6 +160,9 @@ func (t *Task) Compute(d Time) {
 		f *= t.Load()
 	}
 	t.Charge(CatCompute, Time(float64(d)*f))
+	if t.evt != nil {
+		t.sched.Preempt(t)
+	}
 }
 
 // WaitUntil advances the clock to instant v if v is in the task's future,
