@@ -4,9 +4,9 @@
 # without paying full benchmark time) + a profiler export smoke run.
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench hostperf docs profile-smoke
+.PHONY: check vet build test race bench-smoke bench hostperf docs profile-smoke mem-smoke
 
-check: vet build test race bench-smoke docs profile-smoke
+check: vet build test race bench-smoke docs profile-smoke mem-smoke
 
 # Documentation lint: package doc comments on every Go package, and every
 # relative markdown link must resolve (cmd/doccheck, stdlib only).
@@ -26,10 +26,17 @@ race:
 	$(GO) test -race ./internal/genima/... ./internal/memsys/... ./internal/core/... \
 		./internal/san/... ./internal/vmmc/... ./internal/nodeos/... ./internal/wire/... \
 		./internal/sim/...
-	$(GO) test -race -run 'TestFig5RaceSmoke|TestFig5RaceSmokeEventSched|TestFig5ContendedSyncRaceSmoke' ./internal/bench/
+	$(GO) test -race -run 'TestFig5RaceSmoke|TestFig5RaceSmokeEventSched|TestFig5ContendedSyncRaceSmoke|TestFrameLeakBothSched' ./internal/bench/
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench=. -benchtime=1x ./internal/bench/hostperf/
+
+# Memory smoke: frame-leak assertions after every fig5-small cell (the COW
+# frame gauge must return to baseline, on both schedulers) plus the
+# paper-scale 4M-point FFT (-full-size), which must complete in host memory
+# and release every frame.
+mem-smoke:
+	CABLES_FULLSIZE=1 $(GO) test -count=1 -run 'TestMemSmoke|TestFrameLeakBothSched' ./internal/bench/
 
 # Profiler export smoke: run one profiled cell, export the Perfetto
 # timeline, and validate it (well-formed JSON, spans nest per thread).

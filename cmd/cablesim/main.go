@@ -16,7 +16,10 @@
 //	cablesim profile [-scale s] [-apps ...] [-procs ...] [-top N] [-o trace.json]
 //	cablesim all [-scale s]         # everything above (not hostperf/faults)
 //
-// -scale is "test" (fast) or "paper" (scaled evaluation sizes, default).
+// -scale is "test" (fast), "paper" (scaled evaluation sizes, default) or
+// "full" (the testbed's actual SPLASH-2 problem sizes; -full-size is a
+// shorthand).  Full-size runs need the copy-on-write frame store to fit in
+// host memory — see EXPERIMENTS.md for expected runtimes and footprints.
 // -gran overrides the OS mapping granularity in bytes (64 KB default;
 // 4096 emulates the paper's planned Linux port) for fig5/fig6.
 // -jobs bounds how many independent simulation cells run concurrently on
@@ -76,7 +79,9 @@ func main() {
 	}
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	scale := fs.String("scale", "paper", `problem sizes: "test" or "paper"`)
+	scale := fs.String("scale", "paper", `problem sizes: "test", "paper" or "full"`)
+	fullSize := fs.Bool("full-size", false,
+		`shorthand for -scale full: the paper testbed's actual SPLASH-2 problem sizes`)
 	apps := fs.String("apps", "", "comma-separated application list (fig5/fig6)")
 	procs := fs.String("procs", "", "comma-separated processor counts (fig5/fig6)")
 	gran := fs.Int("gran", 0, "OS mapping granularity in bytes (default 64 KB)")
@@ -111,7 +116,10 @@ func main() {
 	})
 
 	sc := bench.Scale(*scale)
-	if sc != bench.ScaleTest && sc != bench.ScalePaper {
+	if *fullSize {
+		sc = bench.ScaleFull
+	}
+	if sc != bench.ScaleTest && sc != bench.ScalePaper && sc != bench.ScaleFull {
 		fmt.Fprintf(os.Stderr, "cablesim: unknown scale %q\n", *scale)
 		os.Exit(2)
 	}

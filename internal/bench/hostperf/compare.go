@@ -29,6 +29,13 @@ const maxProfileOverhead = 0.005
 // measured gap (recorded in the report either way) is informational.
 const minSchedSpeedup = 2.0
 
+// maxMemRegression is the comparison gate on end-to-end memory: each e2e
+// application's allocation rate (B/op, the Derived["mem_*_bytes_per_op"]
+// values) may grow by at most 25% over the previous report.  The COW frame
+// store bought a multi-fold reduction here; this keeps eager page copies
+// from creeping back in.
+const maxMemRegression = 1.25
+
 // Compare prints a benchstat-style delta table of two reports: per
 // benchmark, old and new ns/op and allocs/op with the relative change.
 // Benchmarks present in only one report are listed with "-" on the missing
@@ -86,6 +93,14 @@ func Compare(w io.Writer, old, cur Report) error {
 	if sp, ok := cur.Derived["fig5_small_speedup_sched"]; ok && cur.GOMAXPROCS >= 2 && sp < minSchedSpeedup {
 		return fmt.Errorf("fig5_small_speedup_sched %.2f below the %.1fx gate: the event scheduler no longer beats free-running goroutines on a %d-way host",
 			sp, minSchedSpeedup, cur.GOMAXPROCS)
+	}
+	for _, key := range []string{"mem_fft_bytes_per_op", "mem_ocean_bytes_per_op", "mem_fig5_small_bytes_per_op"} {
+		o, haveO := old.Derived[key]
+		c, haveC := cur.Derived[key]
+		if haveO && haveC && o > 0 && c > o*maxMemRegression {
+			return fmt.Errorf("mem_regression: %s %.0f exceeds %.0f×%.2f: eager page copies are creeping back into the data plane",
+				key, c, o, maxMemRegression)
+		}
 	}
 	return nil
 }

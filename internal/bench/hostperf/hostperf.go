@@ -140,10 +140,19 @@ func withGOMAXPROCS(n int, fn func(b *testing.B)) func(b *testing.B) {
 func Fig5Small(jobs int) func(b *testing.B) {
 	return func(b *testing.B) {
 		b.ReportAllocs()
+		memsys.ResetFramesPeak()
 		for i := 0; i < b.N; i++ {
 			bench.RunFig5([]string{"FFT", "LU"}, []int{1, 4}, bench.ScaleTest, nil, jobs)
 		}
+		reportResidentPeak(b)
 	}
+}
+
+// reportResidentPeak attaches the COW frame store's resident high-water mark
+// (in bytes, since the preceding ResetFramesPeak) to the benchmark result.
+// It is a gauge over the whole measured body, not a per-op quantity.
+func reportResidentPeak(b *testing.B) {
+	b.ReportMetric(float64(memsys.FramesResidentPeak()*memsys.PageSize), "bytes_resident_peak")
 }
 
 // --- Diff kernel microbenchmarks ---
@@ -292,11 +301,13 @@ func Acquire(b *testing.B) {
 
 func benchApp(b *testing.B, app string) {
 	b.ReportAllocs()
+	memsys.ResetFramesPeak()
 	for i := 0; i < b.N; i++ {
 		if _, err := bench.RunApp(app, bench.BackendGenima, 8, bench.ScaleTest, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
+	reportResidentPeak(b)
 }
 
 // E2EFFT runs the whole FFT reproduction (genima backend, 8 procs, test
@@ -308,12 +319,15 @@ func E2EOcean(b *testing.B) { benchApp(b, "OCEAN") }
 
 // --- Report generation ---
 
-// Metric is one benchmark's host-time result.
+// Metric is one benchmark's host-time result.  BytesResidentPeak is the COW
+// frame store's resident high-water mark (bytes) over the measured body —
+// present only for the end-to-end and fig5-small cases, which report it.
 type Metric struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	N           int     `json:"n"`
+	NsPerOp           float64 `json:"ns_per_op"`
+	AllocsPerOp       int64   `json:"allocs_per_op"`
+	BytesPerOp        int64   `json:"bytes_per_op"`
+	BytesResidentPeak int64   `json:"bytes_resident_peak,omitempty"`
+	N                 int     `json:"n"`
 }
 
 // Report is the BENCH_dataplane.json schema.  Derived holds the headline
@@ -336,12 +350,16 @@ func Run() Report {
 	}
 	for _, c := range Cases() {
 		r := testing.Benchmark(c.Fn)
-		rep.Benchmarks[c.Name] = Metric{
+		m := Metric{
 			NsPerOp:     float64(r.NsPerOp()),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			N:           r.N,
 		}
+		if peak, ok := r.Extra["bytes_resident_peak"]; ok {
+			m.BytesResidentPeak = int64(peak)
+		}
+		rep.Benchmarks[c.Name] = m
 	}
 	for _, kind := range []string{"clean", "sparse", "dense"} {
 		ref := rep.Benchmarks["diff/ref/"+kind]
@@ -371,6 +389,18 @@ func Run() Report {
 	rep.Derived["flush_allocs_per_op"] = float64(rep.Benchmarks["flush"].AllocsPerOp)
 	rep.Derived["flush_bytes_per_op"] = float64(rep.Benchmarks["flush"].BytesPerOp)
 	rep.Derived["acquire_allocs_per_op"] = float64(rep.Benchmarks["acquire"].AllocsPerOp)
+	// Memory footprint of the end-to-end runs and the parallel harness:
+	// allocation rate (B/op — what the mem_regression gate in Compare
+	// watches) plus the COW frame store's resident high-water mark.
+	for key, name := range map[string]string{
+		"fft":        "e2e/fft",
+		"ocean":      "e2e/ocean",
+		"fig5_small": "sweep/fig5-small/jobs1",
+	} {
+		m := rep.Benchmarks[name]
+		rep.Derived["mem_"+key+"_bytes_per_op"] = float64(m.BytesPerOp)
+		rep.Derived["mem_"+key+"_resident_peak"] = float64(m.BytesResidentPeak)
+	}
 	// Multicore host scaling: wall-clock speedup of each e2e app at the
 	// swept GOMAXPROCS values over its single-processor run, and of the
 	// parallel fig5 harness over the sequential sweep.

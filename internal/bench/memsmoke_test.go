@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"os"
+	"testing"
+
+	"cables/internal/memsys"
+	"cables/internal/sim"
+)
+
+// These are the `make mem-smoke` frame-leak assertions: every successful
+// run tears its space down (suite.go's Release call), so the process-wide
+// resident-frame gauge must return exactly to its pre-run level after each
+// cell.  A nonzero residue means a refcount leak somewhere in the COW frame
+// store — a twin not retired, an intern table entry not drained, or an
+// unbalanced Ref/Release pair.
+
+// runLeakChecked runs one cell sequentially and asserts the gauge returns
+// to its baseline.
+func runLeakChecked(t *testing.T, app, backend string, procs int, scale Scale) {
+	t.Helper()
+	base := memsys.FramesResident()
+	if _, err := RunApp(app, backend, procs, scale, nil); err != nil {
+		t.Fatalf("%s/%s at %d procs: %v", app, backend, procs, err)
+	}
+	if got := memsys.FramesResident(); got != base {
+		t.Errorf("%s/%s at %d procs leaked %d frames (resident %d, baseline %d)",
+			app, backend, procs, got-base, got, base)
+	}
+}
+
+// TestFrameLeakBothSched runs one cell per thread-manager backend and
+// checks the frame gauge returns to baseline under each.
+func TestFrameLeakBothSched(t *testing.T) {
+	for _, sched := range sim.SchedulerNames() {
+		sched := sched
+		t.Run(sched, func(t *testing.T) {
+			setScheduler(t, sched)
+			runLeakChecked(t, "FFT", BackendGenima, 4, ScaleTest)
+		})
+	}
+}
+
+// TestMemSmoke sweeps the fig5-small grid (FFT and LU at 1 and 4
+// processors, both backends) cell by cell, asserting after every cell that
+// framesResident is back at its baseline.  Cells run sequentially — the
+// gauge is process-global, so concurrent cells would see each other.
+func TestMemSmoke(t *testing.T) {
+	for _, app := range []string{"FFT", "LU"} {
+		for _, procs := range []int{1, 4} {
+			for _, backend := range []string{BackendGenima, BackendCables} {
+				runLeakChecked(t, app, backend, procs, ScaleTest)
+			}
+		}
+	}
+}
+
+// TestMemSmokeFullSizeFFT runs the paper testbed's actual 4M-point FFT
+// (M=22, 128 MB of matrices) end to end: it must complete within host
+// memory — feasible only since frames went copy-on-write — and release
+// every frame afterwards.  ~7 s of wall clock, so it is gated behind
+// CABLES_FULLSIZE=1 (`make mem-smoke` sets it) rather than slowing every
+// `go test ./...`.
+func TestMemSmokeFullSizeFFT(t *testing.T) {
+	if os.Getenv("CABLES_FULLSIZE") == "" {
+		t.Skip("full-size FFT takes several seconds; set CABLES_FULLSIZE=1 (or run `make mem-smoke`)")
+	}
+	memsys.ResetFramesPeak()
+	runLeakChecked(t, "FFT", BackendGenima, 8, ScaleFull)
+	peakBytes := memsys.FramesResidentPeak() * memsys.PageSize
+	t.Logf("full-size FFT peak resident: %d MiB", peakBytes>>20)
+	if peakBytes < 128<<20 {
+		t.Errorf("peak resident %d bytes — a 4M-point FFT must materialize its 128 MB of matrices; is the full-size config wired up?", peakBytes)
+	}
+}

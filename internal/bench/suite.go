@@ -33,13 +33,16 @@ import (
 )
 
 // Scale selects problem sizes: "test" for quick CI-size runs, "paper" for
-// the (scaled-down) evaluation sizes used to regenerate the figures.
+// the (scaled-down) evaluation sizes used to regenerate the figures, and
+// "full" for the paper testbed's actual SPLASH-2 problem sizes (feasible in
+// host memory since the COW frame store; see EXPERIMENTS.md `-full-size`).
 type Scale string
 
 // Recognized scales.
 const (
 	ScaleTest  Scale = "test"
 	ScalePaper Scale = "paper"
+	ScaleFull  Scale = "full"
 )
 
 // Backend names.
@@ -111,55 +114,88 @@ func runAppOn(rt appapi.Runtime, name string, scale Scale) (res appapi.Result, e
 	switch name {
 	case "FFT":
 		m := 18 // per-worker row blocks stay map-unit aligned at 32 procs
-		if scale == ScaleTest {
+		switch scale {
+		case ScaleTest:
 			m = 12
+		case ScaleFull:
+			m = 22 // the paper testbed's 4M-point input (128 MB of matrices)
 		}
 		res = fft.Run(rt, fft.Config{M: m})
 	case "LU":
 		cfg := lu.DefaultConfig()
-		if scale == ScaleTest {
+		switch scale {
+		case ScaleTest:
 			cfg.N = 192
+		case ScaleFull:
+			cfg.N = 2048 // 32 MB matrix, SPLASH-2's large input
 		}
 		res = lu.Run(rt, cfg)
 	case "OCEAN":
 		cfg := ocean.DefaultConfig()
-		if scale == ScaleTest {
+		switch scale {
+		case ScaleTest:
 			cfg.N, cfg.Iters = 64, 2
+		case ScaleFull:
+			cfg.N = 512 // the testbed's 514x514 grid, at the solver's power-of-two
 		}
 		res, err = ocean.Run(rt, cfg)
 	case "RADIX":
 		cfg := radix.DefaultConfig()
-		if scale == ScaleTest {
+		switch scale {
+		case ScaleTest:
 			cfg.N = 16 << 10
+		case ScaleFull:
+			cfg.N = 4 << 20 // 4M keys
 		}
 		res = radix.Run(rt, cfg)
 	case "WATER-SPATIAL":
 		cfg := water.DefaultConfig()
-		if scale == ScaleTest {
+		switch scale {
+		case ScaleTest:
 			cfg.Molecules, cfg.Cells = 512, 4
+		case ScaleFull:
+			cfg.Molecules, cfg.Cells = 32768, 16
 		}
 		res = water.Run(rt, cfg)
 	case "WATER-SPAT-FL":
 		cfg := water.DefaultConfig()
 		cfg.FineLocks = true
-		if scale == ScaleTest {
+		switch scale {
+		case ScaleTest:
 			cfg.Molecules, cfg.Cells = 512, 4
+		case ScaleFull:
+			cfg.Molecules, cfg.Cells = 32768, 16
 		}
 		res = water.Run(rt, cfg)
 	case "RAYTRACE":
 		cfg := raytrace.DefaultConfig()
-		if scale == ScaleTest {
+		switch scale {
+		case ScaleTest:
 			cfg.Image = 64
+		case ScaleFull:
+			cfg.Image = 512
 		}
 		res = raytrace.Run(rt, cfg)
 	case "VOLREND":
 		cfg := volrend.DefaultConfig()
-		if scale == ScaleTest {
+		switch scale {
+		case ScaleTest:
 			cfg.Image, cfg.Frames = 64, 2
+		case ScaleFull:
+			cfg.Image = 256
 		}
 		res = volrend.Run(rt, cfg)
 	default:
 		return res, fmt.Errorf("bench: unknown application %q", name)
+	}
+	if err == nil {
+		// Tear the space down: every frame reference is dropped and the
+		// pool repopulated for the next cell, so back-to-back runs reuse
+		// frames instead of re-allocating them (and mem-smoke can assert
+		// that framesResident returns to its baseline).  A failed run may
+		// leak blocked worker goroutines that still hold frame pointers,
+		// so its frames are left to the garbage collector instead.
+		rt.Acc().Sp.Release()
 	}
 	return res, err
 }

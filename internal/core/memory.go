@@ -303,9 +303,13 @@ func (m *MemManager) MigratePage(t *sim.Task, pid memsys.PageID, dst int) {
 	dc := m.sp.Copy(dst, pid)
 	sc.Mu.Lock()
 	dc.Mu.Lock()
-	dd := dc.EnsureData()
-	if sd := sc.Data(); sd != nil {
-		copy(dd, sd)
+	if sc.Data() != nil {
+		// The new home aliases the old home's frame instead of copying it
+		// (writers are quiesced per the contract above); the frame crosses
+		// nodes, so AdoptFrame pins it out of the page pool.
+		dc.AdoptFrame(m.sp, sc)
+	} else {
+		dc.EnsureFrame()
 	}
 	dc.SetValid(true)
 	sc.SetValid(false)

@@ -148,6 +148,7 @@ func New(cl *nodeos.Cluster, arenaBytes int64, place Placement) *Protocol {
 		}
 	}
 	p.acc = memsys.NewAccessor(p.sp, p)
+	p.sp.BindUnshares(func(node int) { p.cl.Ctr.Add(node, stats.EvCowUnshares, 1) })
 	return p
 }
 
@@ -196,7 +197,7 @@ func (p *Protocol) validate(t *sim.Task, pid memsys.PageID) *memsys.PageCopy {
 		return pc // raced with another thread's fault; already resolved
 	}
 	if home == t.NodeID {
-		pc.EnsureData()
+		pc.EnsureFrame()
 		pc.SetValid(true)
 		return pc
 	}
@@ -219,7 +220,7 @@ func (p *Protocol) validate(t *sim.Task, pid memsys.PageID) *memsys.PageCopy {
 			home = h
 			if home == t.NodeID {
 				// Re-homed onto this very node by a sibling thread.
-				pc.EnsureData()
+				pc.EnsureFrame()
 				pc.SetValid(true)
 				return pc
 			}
@@ -231,16 +232,21 @@ func (p *Protocol) validate(t *sim.Task, pid memsys.PageID) *memsys.PageCopy {
 		// its stale copy at its next acquire.
 		dead := p.cl.Fault.Detached(home, t.Now())
 		if !hc.Valid() {
-			hc.EnsureData()
+			hc.EnsureFrame()
 			hc.SetValid(true)
 		}
-		// Fetch into the copy's own (pool-backed) array.  If the copy was
-		// invalidated, the acquire path already retired its old array under
-		// the node's exclusive flush lock — readers hold the shared side
-		// across the byte access, so none can still be looking at recycled
-		// storage, and the refetch reuses a pooled buffer instead of
-		// allocating a fresh one.
-		copy(pc.EnsureData(), hc.Data())
+		// The fetch aliases the home's frame instead of copying it: with
+		// the home's flush lock held exclusively no home store is
+		// mid-flight, so the shared frame is a stable snapshot, and the
+		// home's next write unshares it (the fetched replica keeps this
+		// image — exactly what the eager copy gave it).  First the frame is
+		// interned in the content-hash table, so identical pages collapse
+		// onto one canonical frame cluster-wide; the fetch's virtual cost
+		// (the wire op below) is charged unchanged either way.
+		if p.sp.DedupFrame(hc) {
+			ctr.Add(t.NodeID, stats.EvDedupHits, 1)
+		}
+		pc.AdoptFrame(p.sp, hc)
 		if dead {
 			hc.SetValid(false)
 			p.sp.SetHome(pid, t.NodeID)
@@ -282,9 +288,11 @@ func (p *Protocol) WriteFault(t *sim.Task, pid memsys.PageID) {
 	pc.Mu.Lock()
 	if !pc.Written() {
 		if p.sp.Home(pid) != t.NodeID {
-			twin := memsys.GetPageBuf()
-			copy(twin, pc.Data())
-			pc.Twin = twin
+			// Twin capture is a reference on the current frame, not a page
+			// copy — the first store unshares the frame and the twin keeps
+			// the pristine image.  The paper's system memcpy'd here, so the
+			// virtual page-copy cost is still charged (bit-identity).
+			pc.CaptureTwin()
 			t.Charge(sim.CatLocal, sim.Time(memsys.PageSize)) // twin copy
 		}
 		pc.SetWritten(true)
@@ -382,12 +390,12 @@ func (p *Protocol) flushPage(t *sim.Task, node int, pid memsys.PageID, batch map
 	}
 	if p.sp.Home(pid) == node {
 		// Home writes are already in place; only a notice is needed.
-		pc.RetireTwin() // possible only after a migration moved the home here
+		pc.RetireTwin(p.sp) // possible only after a migration moved the home here
 		pc.SetWritten(false)
 		return true
 	}
-	if pc.Twin == nil || pc.Data() == nil {
-		pc.RetireTwin()
+	if !pc.HasTwin() || pc.Data() == nil {
+		pc.RetireTwin(p.sp)
 		pc.SetWritten(false)
 		return false
 	}
@@ -412,11 +420,34 @@ func (p *Protocol) diffToHome(t *sim.Task, node int, pid memsys.PageID, pc *mems
 	home := p.sp.Home(pid)
 	hc := p.sp.Copy(home, pid)
 	hc.Mu.Lock()
-	hd := hc.EnsureData()
-	diffBytes := memsys.DiffPage(pc.Data(), pc.Twin, hd)
+	if pc.TwinAliasesData() {
+		// No store landed since twin capture (the unshare-on-write trigger
+		// would have swapped the frame), so the diff is empty by
+		// construction: skip the scan, keeping the empty-diff path's side
+		// effects (the home copy is bound and validated, as DiffPage's
+		// zero-byte merge used to leave it).  In practice a write fault is
+		// always followed by its store, so this fires only on exotic
+		// interleavings — the dominant clean-page case remains DiffPage's
+		// four-words-per-branch scan over unshared pages.
+		hc.EnsureFrame()
+		hc.SetValid(true)
+		hc.Mu.Unlock()
+		pc.RetireTwin(p.sp)
+		pc.SetWritten(false)
+		t.CloseSpan()
+		return 0
+	}
+	// The home frame may be aliased by fetched replicas or the dedup table;
+	// privatize it before merging (replica holders keep the pre-merge
+	// snapshot, which is exactly what their eager fetch copy was).
+	hd, unshared := hc.EnsureExclusive(p.sp)
+	if unshared {
+		p.cl.Ctr.Add(node, stats.EvCowUnshares, 1)
+	}
+	diffBytes := memsys.DiffPage(pc.Data(), pc.TwinData(), hd)
 	hc.SetValid(true)
 	hc.Mu.Unlock()
-	pc.RetireTwin()
+	pc.RetireTwin(p.sp)
 	pc.SetWritten(false)
 	if diffBytes == 0 {
 		t.CloseSpan()
@@ -494,12 +525,14 @@ func (p *Protocol) ApplyAcquire(t *sim.Task) {
 					p.Trace.Add(t.Now(), node, trace.KindInvalidate, uint64(pid))
 				}
 			}
-			pc.RetireTwin()
+			pc.RetireTwin(p.sp)
 			// With the flush lock held exclusively no reader or writer is
-			// inside this node's copies, so the invalidated copy's array can
-			// go back to the page pool; the refetch on the next fault reuses
-			// a pooled buffer instead of allocating.
-			pc.RetireData()
+			// inside this node's copies, so the invalidated copy's frame
+			// reference can be dropped; if it was the last reference the
+			// frame returns to the pool (or to the GC once it crossed
+			// nodes) and the refetch aliases the home's frame instead of
+			// allocating.
+			pc.RetireData(p.sp)
 			pc.Mu.Unlock()
 		}
 		p.acc.FlushEnd(node)
@@ -512,7 +545,7 @@ func (p *Protocol) ApplyAcquire(t *sim.Task) {
 
 // forceDiffLocked flushes one page's diff with pc.Mu already held.
 func (p *Protocol) forceDiffLocked(t *sim.Task, node int, pid memsys.PageID, pc *memsys.PageCopy) {
-	if p.sp.Home(pid) == node || pc.Twin == nil {
+	if p.sp.Home(pid) == node || !pc.HasTwin() {
 		pc.SetWritten(false)
 		return
 	}

@@ -137,7 +137,7 @@ func TestMigrationMechanism(t *testing.T) {
 	sc, dc := sp.Copy(home, pid), sp.Copy(dst, pid)
 	sc.Mu.Lock()
 	dc.Mu.Lock()
-	copy(dc.EnsureData(), sc.Data())
+	dc.AdoptFrame(sp, sc)
 	dc.SetValid(true)
 	sc.SetValid(false)
 	sp.SetHome(pid, dst)

@@ -73,11 +73,30 @@ func (a *Accessor) readEnd(node int) { a.Sp.flush[node].RUnlock() }
 
 // pageForWrite returns a writable copy with the node's flush lock held
 // shared.  The caller must release it via writeEnd after the store.
+//
+// This is the unshare-on-write trigger of the COW frame store: a valid,
+// written page whose frame is still shared (aliased by its twin, by the
+// home copy it was fetched from, by other nodes' replicas, or by the
+// canonical zero frame) is privatized here before the first store lands.
+// While the shared flush lock is held with Written set, nothing can
+// re-share the privatized frame — twin capture requires !Written (it
+// happens-before the write that set it), and fetch adoption and interning
+// take this node's flush lock exclusively when this node is the home — so
+// one unshare per page per interval suffices and the per-store fast path
+// is two atomic loads.
 func (a *Accessor) pageForWrite(t *sim.Task, pid PageID) *PageCopy {
 	pc := a.Sp.Copy(t.NodeID, pid)
 	for {
 		a.Sp.flush[t.NodeID].RLock()
 		if pc.Valid() && pc.Written() {
+			if f := pc.frame.Load(); f != nil && f.Exclusive() {
+				return pc
+			}
+			pc.Mu.Lock()
+			if _, copied := pc.EnsureExclusive(a.Sp); copied && a.Sp.unshares != nil {
+				a.Sp.unshares(t.NodeID)
+			}
+			pc.Mu.Unlock()
 			return pc
 		}
 		a.Sp.flush[t.NodeID].RUnlock()

@@ -1,0 +1,421 @@
+package memsys
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cables/internal/sim"
+)
+
+// This file checks the COW frame store against an eager-copy reference
+// model: every operation the protocol performs on page copies (fetch,
+// write, twin capture, flush-diff, invalidate) is mirrored on a model that
+// clones bytes at every step, and the two must agree on every observable
+// byte at every point.  It also checks the bookkeeping invariants the
+// frames rely on: refcount misuse panics, unshare is idempotent, and a
+// released space returns framesResident to its prior level (no leaks).
+
+const cowHome = 0 // the model homes every page on node 0
+
+// eagerCopy is the reference model of one node's page copy: plain slices,
+// cloned eagerly exactly where the pre-COW implementation copied.
+type eagerCopy struct {
+	valid, written bool
+	data, twin     []byte
+}
+
+// eagerModel mirrors a Space's per-node copy table.
+type eagerModel struct {
+	copies [][]eagerCopy
+}
+
+func newEagerModel(nodes, pages int) *eagerModel {
+	m := &eagerModel{copies: make([][]eagerCopy, nodes)}
+	for n := range m.copies {
+		m.copies[n] = make([]eagerCopy, pages)
+	}
+	return m
+}
+
+func (m *eagerModel) at(node int, pid PageID) *eagerCopy { return &m.copies[node][pid] }
+
+// homeData returns the authoritative home image, creating it as zeroes on
+// first use (the eager equivalent of aliasing the canonical zero frame).
+func (m *eagerModel) homeData(pid PageID) []byte {
+	h := m.at(cowHome, pid)
+	if h.data == nil {
+		h.data = make([]byte, PageSize)
+	}
+	return h.data
+}
+
+// fetch validates node's copy from the home image (an eager byte copy).
+func (m *eagerModel) fetch(node int, pid PageID) {
+	e := m.at(node, pid)
+	if e.valid {
+		return
+	}
+	if node == cowHome {
+		m.homeData(pid)
+	} else {
+		e.data = bytes.Clone(m.homeData(pid))
+	}
+	e.valid = true
+}
+
+// writeFault is fetch plus twin capture (non-home) and the dirty bit.
+func (m *eagerModel) writeFault(node int, pid PageID) {
+	m.fetch(node, pid)
+	e := m.at(node, pid)
+	if node != cowHome && e.twin == nil {
+		e.twin = bytes.Clone(e.data)
+	}
+	e.written = true
+}
+
+// cowRefHandler implements the accessor's FaultHandler with the same frame
+// operations the genima protocol performs (alias on fetch, dedup, twin as a
+// reference), mirroring each transition on the eager model.
+type cowRefHandler struct {
+	sp    *Space
+	model *eagerModel
+}
+
+func (h *cowRefHandler) ReadFault(t *sim.Task, pid PageID) {
+	pc := h.sp.Copy(t.NodeID, pid)
+	if pc.Valid() {
+		return // write fault on an already-valid copy: no refetch
+	}
+	if t.NodeID == cowHome {
+		pc.Mu.Lock()
+		pc.EnsureFrame()
+		pc.SetValid(true)
+		pc.Mu.Unlock()
+	} else {
+		hc := h.sp.Copy(cowHome, pid)
+		hc.Mu.Lock()
+		hc.EnsureFrame()
+		h.sp.DedupFrame(hc)
+		pc.Mu.Lock()
+		pc.AdoptFrame(h.sp, hc)
+		pc.SetValid(true)
+		pc.Mu.Unlock()
+		hc.Mu.Unlock()
+	}
+	h.model.fetch(t.NodeID, pid)
+}
+
+func (h *cowRefHandler) WriteFault(t *sim.Task, pid PageID) {
+	h.ReadFault(t, pid)
+	pc := h.sp.Copy(t.NodeID, pid)
+	pc.Mu.Lock()
+	if t.NodeID != cowHome && !pc.HasTwin() {
+		pc.CaptureTwin()
+	}
+	pc.SetWritten(true)
+	pc.Mu.Unlock()
+	h.model.writeFault(t.NodeID, pid)
+}
+
+// cowWorld is the system under test plus its mirror.
+type cowWorld struct {
+	t     *testing.T
+	sp    *Space
+	acc   *Accessor
+	model *eagerModel
+	tasks []*sim.Task
+	nodes int
+	pages int
+}
+
+func newCowWorld(t *testing.T, nodes, pages int) *cowWorld {
+	sp := NewSpace(nodes, int64(pages)*PageSize)
+	model := newEagerModel(nodes, pages)
+	w := &cowWorld{
+		t:     t,
+		sp:    sp,
+		acc:   NewAccessor(sp, &cowRefHandler{sp: sp, model: model}),
+		model: model,
+		nodes: nodes,
+		pages: pages,
+	}
+	for n := 0; n < nodes; n++ {
+		w.tasks = append(w.tasks, sim.NewTask(n+1, n, sim.DefaultCosts()))
+	}
+	return w
+}
+
+// write stores a value through the real accessor (exercising the
+// unshare-on-write trigger) and mirrors the bytes into the model.
+func (w *cowWorld) write(node int, pid PageID, off int, v uint64) {
+	w.acc.WriteI64(w.tasks[node], w.sp.PageAddr(pid)+Addr(off), int64(v))
+	binary.LittleEndian.PutUint64(w.model.at(node, pid).data[off:], v)
+}
+
+// flush mirrors the protocol's release path for one written page: diff the
+// (data, twin) pair into the home image, retire the twin, clear the bit.
+func (w *cowWorld) flush(node int, pid PageID) {
+	pc := w.sp.Copy(node, pid)
+	e := w.model.at(node, pid)
+	if !pc.Written() || e.written != pc.Written() {
+		w.t.Fatalf("node %d page %d: written bit diverged (cow %v, eager %v)",
+			node, pid, pc.Written(), e.written)
+	}
+	w.acc.FlushBegin(node)
+	w.flushLocked(node, pid)
+	w.acc.FlushEnd(node)
+}
+
+func (w *cowWorld) flushLocked(node int, pid PageID) {
+	pc := w.sp.Copy(node, pid)
+	e := w.model.at(node, pid)
+	if node != cowHome {
+		hc := w.sp.Copy(cowHome, pid)
+		hc.Mu.Lock()
+		if !pc.TwinAliasesData() {
+			hd, _ := hc.EnsureExclusive(w.sp)
+			cowN := DiffPage(pc.Data(), pc.TwinData(), hd)
+			eagerN := DiffPageRef(e.data, e.twin, w.model.homeData(pid))
+			if cowN != eagerN {
+				w.t.Fatalf("node %d page %d: diff size diverged (cow %d, eager %d)",
+					node, pid, cowN, eagerN)
+			}
+		}
+		hc.Mu.Unlock()
+		pc.RetireTwin(w.sp)
+		e.twin = nil
+	}
+	pc.SetWritten(false)
+	e.written = false
+}
+
+// invalidate drops a non-home copy, force-flushing unflushed writes first
+// (the false-sharing path).
+func (w *cowWorld) invalidate(node int, pid PageID) {
+	if node == cowHome {
+		return
+	}
+	pc := w.sp.Copy(node, pid)
+	e := w.model.at(node, pid)
+	w.acc.FlushBegin(node)
+	if pc.Written() {
+		w.flushLocked(node, pid)
+	}
+	pc.SetValid(false)
+	pc.RetireTwin(w.sp)
+	pc.RetireData(w.sp)
+	e.valid, e.written, e.data, e.twin = false, false, nil, nil
+	w.acc.FlushEnd(node)
+}
+
+// verify compares every observable byte of one copy against the model.
+func (w *cowWorld) verify(node int, pid PageID) {
+	pc := w.sp.Copy(node, pid)
+	e := w.model.at(node, pid)
+	if pc.Valid() != e.valid {
+		w.t.Fatalf("node %d page %d: validity diverged (cow %v, eager %v)", node, pid, pc.Valid(), e.valid)
+	}
+	if !e.valid {
+		return
+	}
+	if !bytes.Equal(pc.Data(), e.data) {
+		w.t.Fatalf("node %d page %d: data diverged from the eager reference", node, pid)
+	}
+	if (pc.HasTwin() && node != cowHome) != (e.twin != nil) {
+		w.t.Fatalf("node %d page %d: twin presence diverged", node, pid)
+	}
+	if e.twin != nil && !bytes.Equal(pc.TwinData(), e.twin) {
+		w.t.Fatalf("node %d page %d: twin diverged from the eager reference", node, pid)
+	}
+}
+
+// TestCOWMatchesEagerReference is the property test: randomized
+// read/write/fetch/flush/invalidate interleavings over several nodes and
+// pages must keep the COW store byte-identical to the eager-copy reference,
+// and releasing the space must return the resident-frame gauge to its
+// starting level (no refcount leaks).
+func TestCOWMatchesEagerReference(t *testing.T) {
+	const nodes, pages, ops = 4, 8, 4000
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			baseline := FramesResident()
+			w := newCowWorld(t, nodes, pages)
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < ops; i++ {
+				node := r.Intn(nodes)
+				pid := PageID(r.Intn(pages))
+				switch r.Intn(10) {
+				case 0, 1, 2, 3: // write (faults, twins and unshares as needed)
+					w.write(node, pid, r.Intn(PageSize/8)*8, r.Uint64())
+				case 4, 5: // read through the accessor (faults if invalid)
+					w.acc.ReadI64(w.tasks[node], w.sp.PageAddr(pid)+Addr(r.Intn(PageSize/8)*8))
+					w.model.fetch(node, pid)
+				case 6, 7: // release-side flush of a dirty page
+					if w.sp.Copy(node, pid).Written() {
+						w.flush(node, pid)
+					}
+				case 8: // acquire-side invalidation
+					w.invalidate(node, pid)
+				case 9: // zero-content write-back: tests dedup onto the zero frame
+					w.write(node, pid, r.Intn(PageSize/8)*8, 0)
+				}
+				w.verify(node, pid)
+			}
+			for n := 0; n < nodes; n++ {
+				for p := PageID(0); p < PageID(pages); p++ {
+					w.verify(n, p)
+				}
+			}
+			w.sp.Release()
+			if got := FramesResident(); got != baseline {
+				t.Errorf("frame leak: %d frames resident after Release, baseline %d", got, baseline)
+			}
+		})
+	}
+}
+
+// TestDedupFrameInterning checks the content-hash interner directly: equal
+// content dedups onto one canonical frame, differing content does not, and
+// a page written back to all-zeroes collapses onto the canonical zero frame.
+func TestDedupFrameInterning(t *testing.T) {
+	sp := NewSpace(1, 4*PageSize)
+	a, b, c := sp.Copy(0, 0), sp.Copy(0, 1), sp.Copy(0, 2)
+	for _, pc := range []*PageCopy{a, b, c} {
+		pc.Mu.Lock()
+		pc.EnsureExclusive(sp)
+		pc.Mu.Unlock()
+	}
+	a.Data()[7] = 0x11
+	b.Data()[7] = 0x11
+	c.Data()[7] = 0x22
+
+	a.Mu.Lock()
+	if sp.DedupFrame(a) {
+		t.Error("first intern reported a hit")
+	}
+	a.Mu.Unlock()
+	b.Mu.Lock()
+	if !sp.DedupFrame(b) {
+		t.Error("identical content did not dedup")
+	}
+	b.Mu.Unlock()
+	if a.Frame() != b.Frame() {
+		t.Error("deduped copies do not alias one frame")
+	}
+	c.Mu.Lock()
+	if sp.DedupFrame(c) {
+		t.Error("differing content deduped")
+	}
+	c.Mu.Unlock()
+
+	// All-zero content interns onto the permanent canonical zero frame.
+	d := sp.Copy(0, 3)
+	d.Mu.Lock()
+	d.EnsureExclusive(sp)
+	if !sp.DedupFrame(d) {
+		t.Error("all-zero page did not dedup")
+	}
+	d.Mu.Unlock()
+	if d.Frame() != ZeroFrame() {
+		t.Error("all-zero page not aliased to the canonical zero frame")
+	}
+	sp.Release()
+}
+
+// TestFrameRefcountMisuse: releasing a frame below zero references panics
+// rather than silently corrupting the pool.
+func TestFrameRefcountMisuse(t *testing.T) {
+	f := newFrame()
+	f.crossNode.Store(true) // keep it out of the pool so the double release is observable
+	f.Release(nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("release below zero did not panic")
+		}
+	}()
+	f.Release(nil)
+}
+
+// TestUnshareIdempotent: once a copy's frame is exclusive, further
+// EnsureExclusive calls are no-ops (no double unshare, no extra frames).
+func TestUnshareIdempotent(t *testing.T) {
+	sp := NewSpace(1, 1<<16)
+	pc := sp.Copy(0, 0)
+	pc.Mu.Lock()
+	defer pc.Mu.Unlock()
+	pc.EnsureExclusive(sp)
+	pc.Data()[0] = 1
+	pc.CaptureTwin()
+	if _, unshared := pc.EnsureExclusive(sp); !unshared {
+		t.Fatal("twinned frame did not unshare")
+	}
+	before := FramesResident()
+	f := pc.Frame()
+	for i := 0; i < 3; i++ {
+		if _, unshared := pc.EnsureExclusive(sp); unshared {
+			t.Fatal("exclusive frame unshared again")
+		}
+	}
+	if pc.Frame() != f || FramesResident() != before {
+		t.Error("repeat EnsureExclusive changed the frame or allocated")
+	}
+	pc.RetireTwin(sp)
+}
+
+// TestConcurrentUnshareHammer: many nodes alias one frame and unshare it
+// concurrently; every node must end with a private frame carrying the
+// original bytes plus exactly its own write (run under -race in CI).
+func TestConcurrentUnshareHammer(t *testing.T) {
+	const nodes = 8
+	for round := 0; round < 50; round++ {
+		sp := NewSpace(nodes, 1<<16)
+		src := sp.Copy(0, 0)
+		src.Mu.Lock()
+		src.EnsureExclusive(sp)
+		for i := range src.Data() {
+			src.Data()[i] = byte(i)
+		}
+		src.Mu.Unlock()
+		for n := 1; n < nodes; n++ {
+			pc := sp.Copy(n, 0)
+			pc.Mu.Lock()
+			pc.AdoptFrame(sp, src)
+			pc.SetValid(true)
+			pc.Mu.Unlock()
+		}
+		var wg sync.WaitGroup
+		for n := 1; n < nodes; n++ {
+			n := n
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				pc := sp.Copy(n, 0)
+				pc.Mu.Lock()
+				pc.EnsureExclusive(sp)
+				pc.Data()[0] = byte(0x80 + n)
+				pc.Mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		for n := 1; n < nodes; n++ {
+			pc := sp.Copy(n, 0)
+			if !pc.Frame().Exclusive() {
+				t.Fatalf("node %d frame still shared after unshare", n)
+			}
+			if got := pc.Data()[0]; got != byte(0x80+n) {
+				t.Fatalf("node %d lost its write: %#x", n, got)
+			}
+			for i := 1; i < PageSize; i++ {
+				if pc.Data()[i] != byte(i) {
+					t.Fatalf("node %d byte %d corrupted during unshare", n, i)
+				}
+			}
+		}
+		sp.Release()
+	}
+}

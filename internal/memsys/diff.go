@@ -129,50 +129,40 @@ func DiffPageRef(data, twin, home []byte) int {
 	return diff
 }
 
-// pagePool recycles PageSize buffers for twins and fetch copies — the
-// dominant allocation churn of the data plane.  It stores *[PageSize]byte
-// rather than slices: a pointer boxes into the pool's interface without
-// allocating, where pooling a slice header would cost one heap allocation
-// per Put and defeat the point.  Buffers are zeroed on return, so
-// GetPageBuf always hands out an all-zero page (the same state a fresh
-// make would).
+// pagePool recycles standalone PageSize buffers (scratch pages for tests
+// and benchmarks; page-copy storage lives in the frame pool, see frame.go).
+// It stores *[PageSize]byte rather than slices: a pointer boxes into the
+// pool's interface without allocating, where pooling a slice header would
+// cost one heap allocation per Put and defeat the point.
+//
+// Zero-page fast path audit: buffers are no longer cleared on return — a
+// returned buffer's contents are arbitrary, and GetPageBuf clears on hand-
+// out instead, so callers that overwrite the whole page (fetch fills, copy
+// targets) can use GetPageBufRaw and skip the 4 KB clear entirely.
 var pagePool = sync.Pool{
 	New: func() any { return new([PageSize]byte) },
 }
 
-// getPageArr returns a zeroed page array from the pool.
-func getPageArr() *[PageSize]byte {
-	return pagePool.Get().(*[PageSize]byte)
-}
-
-// putPageArr zeroes arr and returns it to the pool.  The caller must hold
-// the only remaining reference.
-func putPageArr(arr *[PageSize]byte) {
-	clear(arr[:])
-	pagePool.Put(arr)
-}
-
 // GetPageBuf returns a zeroed PageSize buffer from the pool.
 func GetPageBuf() []byte {
-	return getPageArr()[:]
+	b := pagePool.Get().(*[PageSize]byte)
+	clear(b[:])
+	return b[:]
 }
 
-// RetireTwin returns the copy's twin buffer (if any) to the page pool and
-// clears the field.  The caller must hold Mu and must not retain the twin.
-func (p *PageCopy) RetireTwin() {
-	if p.Twin != nil {
-		PutPageBuf(p.Twin)
-		p.Twin = nil
-	}
+// GetPageBufRaw returns a PageSize buffer from the pool with arbitrary
+// contents; for callers that overwrite the whole page before reading it.
+func GetPageBufRaw() []byte {
+	return pagePool.Get().(*[PageSize]byte)[:]
 }
 
 // PutPageBuf returns buf to the pool.  The caller must hold the only
-// remaining reference; buffers that may still be read concurrently (e.g. a
-// page copy's live backing array) must never be returned.  Buffers that
-// did not come from GetPageBuf (wrong capacity) are dropped.
+// remaining reference; buffers that may still be read concurrently must
+// never be returned.  Buffers that did not come from GetPageBuf (wrong
+// capacity) are dropped.
 func PutPageBuf(buf []byte) {
 	if cap(buf) < PageSize {
 		return
 	}
-	putPageArr((*[PageSize]byte)(buf[:PageSize]))
+	pagePool.Put((*[PageSize]byte)(buf[:PageSize]))
 }

@@ -137,8 +137,9 @@ func TestDiffPageQuick(t *testing.T) {
 	}
 }
 
-// TestPageBufPool checks the pool contract: buffers come back zeroed and
-// PageSize long, and RetireTwin clears the field.
+// TestPageBufPool checks the pool contract: GetPageBuf hands out zeroed
+// PageSize buffers even after a dirty one was returned, while GetPageBufRaw
+// skips the clear (contents are arbitrary, length still PageSize).
 func TestPageBufPool(t *testing.T) {
 	b := GetPageBuf()
 	if len(b) != PageSize {
@@ -158,11 +159,48 @@ func TestPageBufPool(t *testing.T) {
 		g[len(g)-1] = 0xff
 		PutPageBuf(g)
 	}
+	if r := GetPageBufRaw(); len(r) != PageSize {
+		t.Fatalf("GetPageBufRaw length %d, want %d", len(r), PageSize)
+	} else {
+		PutPageBuf(r)
+	}
+}
 
-	pc := &PageCopy{Twin: GetPageBuf()}
-	pc.RetireTwin()
-	if pc.Twin != nil {
+// TestTwinLifecycle checks the frame-based twin contract: capture aliases
+// the current frame (a reference, not a copy), retire drops it, and a nil
+// retire is idempotent.
+func TestTwinLifecycle(t *testing.T) {
+	sp := NewSpace(1, 1<<16)
+	pc := sp.Copy(0, 0)
+	pc.Mu.Lock()
+	defer pc.Mu.Unlock()
+	if _, unshared := pc.EnsureExclusive(sp); unshared {
+		t.Fatal("fresh copy reported an unshare")
+	}
+	pc.Data()[0] = 0x5a
+	pc.CaptureTwin()
+	if !pc.HasTwin() || !pc.TwinAliasesData() {
+		t.Fatal("captured twin does not alias the current frame")
+	}
+	if got := pc.TwinData()[0]; got != 0x5a {
+		t.Fatalf("twin byte %#x, want 0x5a", got)
+	}
+	if f := pc.Frame(); f.Exclusive() {
+		t.Error("frame still exclusive after twin capture")
+	}
+	if _, unshared := pc.EnsureExclusive(sp); !unshared {
+		t.Fatal("write on twinned frame did not unshare")
+	}
+	pc.Data()[0] = 0x77
+	if pc.TwinAliasesData() {
+		t.Error("twin still aliases after unshare")
+	}
+	if got := pc.TwinData()[0]; got != 0x5a {
+		t.Errorf("twin lost the pristine image: %#x", got)
+	}
+	pc.RetireTwin(sp)
+	if pc.HasTwin() {
 		t.Error("RetireTwin left the twin set")
 	}
-	pc.RetireTwin() // idempotent on nil
+	pc.RetireTwin(sp) // idempotent on nil
 }

@@ -36,42 +36,49 @@ const SpaceBase Addr = 0x4000_0000
 const NoHome = int32(-1)
 
 // PageCopy is one node's copy of one shared page.  The zero state is
-// Invalid with no storage; storage is allocated on first validation.
+// Invalid with no storage; storage is bound on first validation.
 //
-// The backing array is held behind an atomic pointer to a fixed-size array
-// (no slice header, so installing or clearing it never allocates).  Byte
-// access is synchronized through the owning node's flush lock: loads and
-// stores hold it shared, while invalidation — the only path that retires an
-// array back to the page pool — holds it exclusively, so a retired array
-// can never still be observed by a racing reader.
+// Storage is a refcounted copy-on-write frame (see frame.go) held behind an
+// atomic pointer: a fetched page, its twin and other nodes' replicas alias
+// one frame, and the first local write unshares it.  Byte access is
+// synchronized through the owning node's flush lock: loads and stores hold
+// it shared, while invalidation — the path that releases a copy's frame —
+// holds it exclusively, so a recycled frame can never still be observed by
+// a racing reader (crossNode frames additionally bypass the pool; see
+// frame.go).
 type PageCopy struct {
 	// Mu serializes state transitions and diff application on this copy.
 	Mu sync.Mutex
-	// Twin is a pristine copy taken at the first write of the current
-	// interval on a non-home node; diffs are computed against it at flush.
-	// Guarded by Mu.
-	Twin []byte
 
-	data    atomic.Pointer[[PageSize]byte]
+	// twin is the pristine image captured at the first write of the
+	// current interval on a non-home node; diffs are computed against it
+	// at flush.  It is a reference on the pre-write frame, not a copy.
+	// Guarded by Mu.
+	twin *Frame
+
+	frame   atomic.Pointer[Frame]
 	valid   atomic.Bool
 	written atomic.Bool
 }
 
-// Data returns the current backing array (nil before first validation).
+// Data returns the current byte image (nil before first validation).
 func (p *PageCopy) Data() []byte {
-	if b := p.data.Load(); b != nil {
-		return b[:]
+	if f := p.frame.Load(); f != nil {
+		return f.data[:]
 	}
 	return nil
 }
 
-// RetireData returns the backing array to the page pool and clears the
-// field.  Caller must hold Mu and exclude all readers of the array (the
-// acquire path holds the node's flush lock exclusively).
-func (p *PageCopy) RetireData() {
-	if b := p.data.Load(); b != nil {
-		p.data.Store(nil)
-		putPageArr(b)
+// Frame returns the current frame (nil before first validation).  Test hook.
+func (p *PageCopy) Frame() *Frame { return p.frame.Load() }
+
+// RetireData releases the copy's frame and clears the pointer.  Caller must
+// hold Mu and exclude all readers of the copy (the acquire path holds the
+// node's flush lock exclusively).
+func (p *PageCopy) RetireData(sp *Space) {
+	if f := p.frame.Load(); f != nil {
+		p.frame.Store(nil)
+		f.Release(sp)
 	}
 }
 
@@ -87,15 +94,99 @@ func (p *PageCopy) Valid() bool { return p.valid.Load() }
 // SetValid marks the copy readable.
 func (p *PageCopy) SetValid(v bool) { p.valid.Store(v) }
 
-// EnsureData allocates the page storage (from the page pool) if needed and
-// returns it.  Caller must hold Mu or otherwise own the copy.
-func (p *PageCopy) EnsureData() []byte {
-	if b := p.data.Load(); b != nil {
-		return b[:]
+// EnsureFrame binds storage to the copy if it has none and returns the byte
+// image.  A fresh copy aliases the canonical zero frame — the same all-zero
+// content a fresh allocation had, without allocating.  The result is
+// read-only; writers go through EnsureExclusive or the accessor's
+// unshare-on-write path.  Caller must hold Mu or otherwise own the copy.
+func (p *PageCopy) EnsureFrame() []byte {
+	if f := p.frame.Load(); f != nil {
+		return f.data[:]
 	}
-	b := getPageArr()
-	p.data.Store(b)
-	return b[:]
+	p.frame.Store(zeroFrame)
+	return zeroFrame.data[:]
+}
+
+// EnsureExclusive makes the copy's frame privately owned and returns its
+// writable byte image, unsharing (or allocating) if needed.  Returns
+// whether a shared frame had to be copied — the caller charges nothing
+// (unshare is host work; the paper's system wrote in place), but counts it.
+// Caller must hold Mu.
+func (p *PageCopy) EnsureExclusive(sp *Space) (data []byte, unshared bool) {
+	f := p.frame.Load()
+	switch {
+	case f == nil:
+		nf := newFrameZeroed()
+		p.frame.Store(nf)
+		return nf.data[:], false
+	case f.Exclusive():
+		return f.data[:], false
+	case f.zero:
+		nf := newFrameZeroed()
+		p.frame.Store(nf)
+		return nf.data[:], true
+	default:
+		nf := newFrame()
+		copy(nf.data[:], f.data[:])
+		p.frame.Store(nf)
+		f.Release(sp) // at least the releaser's alias remains (refs were ≥2)
+		return nf.data[:], true
+	}
+}
+
+// CaptureTwin records the copy's current image as the interval twin — a
+// reference on the current frame, not a page copy.  The frame becomes
+// shared, so the next write unshares it and the twin keeps the pristine
+// image.  Caller must hold Mu; the copy must be valid with no twin.
+func (p *PageCopy) CaptureTwin() {
+	p.twin = p.frame.Load().Ref()
+}
+
+// TwinData returns the twin's byte image, or nil if no twin is captured.
+// Caller must hold Mu.
+func (p *PageCopy) TwinData() []byte {
+	if p.twin == nil {
+		return nil
+	}
+	return p.twin.data[:]
+}
+
+// HasTwin reports whether an interval twin is captured.  Caller must hold Mu.
+func (p *PageCopy) HasTwin() bool { return p.twin != nil }
+
+// TwinAliasesData reports whether the twin still aliases the copy's current
+// frame — i.e. no write landed since capture, so the page is byte-identical
+// to its twin and a diff would be empty.  Caller must hold Mu.
+func (p *PageCopy) TwinAliasesData() bool {
+	return p.twin != nil && p.twin == p.frame.Load()
+}
+
+// RetireTwin releases the twin reference (if any).  The caller must hold Mu
+// and must not retain the twin.
+func (p *PageCopy) RetireTwin(sp *Space) {
+	if p.twin != nil {
+		p.twin.Release(sp)
+		p.twin = nil
+	}
+}
+
+// AdoptFrame points this copy at src's current frame (the fetch path: the
+// fetched replica aliases the home's frame instead of copying it).  The
+// frame escapes its home node, so it is marked crossNode and will not be
+// recycled mid-run.  Caller must hold both copies' Mu (fetch also holds the
+// home's flush lock exclusively, so no home store is mid-flight).
+func (p *PageCopy) AdoptFrame(sp *Space, src *PageCopy) {
+	f := src.frame.Load()
+	if f == nil {
+		return
+	}
+	f.crossNode.Store(true)
+	f.Ref()
+	if old := p.frame.Load(); old != nil {
+		p.frame.Store(nil)
+		old.Release(sp)
+	}
+	p.frame.Store(f)
 }
 
 // Space is the cluster-wide shared address space.
@@ -115,7 +206,7 @@ type Space struct {
 	// stores hold it shared, interval flushes and acquire-side invalidations
 	// hold it exclusively, so a flush observes a stable page image (avoids
 	// lost updates between same-node threads) and an invalidation can retire
-	// page arrays with no reader left holding them.  Owned by the space so
+	// page frames with no reader left holding them.  Owned by the space so
 	// its lifetime matches the pages it guards (it used to live in a
 	// process-global registry keyed by *Space, which retained every space
 	// ever created).  Each lock is padded to its own cache line: every
@@ -123,13 +214,25 @@ type Space struct {
 	// nodes' locks sharing a line would ping-pong across host cores.
 	flush []flushLock
 
-	// home[pid] is the node holding the primary copy, stored biased by +1
-	// so the zero value means NoHome and a fresh space needs no init sweep.
-	home []atomic.Int32
-	// toucher[pid] is the node that first accessed the page, recorded at
-	// 4 KB granularity (same bias); this is the reference placement against
-	// which CableS's map-unit-granularity homes are compared (Figure 6).
-	toucher []atomic.Int32
+	// meta[pid>>pageChunkShift] holds the page's home and first-toucher
+	// records in on-demand chunks (same chunking as page copies): home is
+	// the node holding the primary copy, toucher the node that first
+	// accessed the page at 4 KB granularity — the reference placement
+	// against which CableS's map-unit-granularity homes are compared
+	// (Figure 6).  Both are stored biased by +1 so the zero value means
+	// "unset".  Chunking replaces two flat []atomic.Int32 arrays that cost
+	// half a megabyte of zeroed memory per 256 MB space — visible per-op
+	// garbage once frames went copy-on-write.
+	meta []atomic.Pointer[metaChunk]
+
+	// intern is the content-hash dedup table (see frame.go), seeded with
+	// the canonical zero frame.
+	intern interner
+
+	// unshares counts copy-on-write unshares performed by the accessor's
+	// write path, reported per node; bound by the protocol (BindUnshares)
+	// because memsys itself has no stats sink.
+	unshares func(node int)
 
 	allocMu sync.Mutex
 	next    Addr
@@ -144,6 +247,9 @@ type flushLock struct {
 
 // pageChunk is one on-demand block of page-copy slots (2 MB of arena).
 type pageChunk [pageChunkSize]atomic.Pointer[PageCopy]
+
+// metaChunk is one on-demand block of per-page home/toucher records.
+type metaChunk [pageChunkSize]struct{ home, toucher atomic.Int32 }
 
 const (
 	pageChunkShift = 9
@@ -173,15 +279,19 @@ func NewSpace(nodes int, size int64) *Space {
 		numPages: np,
 		pages:    make([][]atomic.Pointer[pageChunk], nodes),
 		flush:    make([]flushLock, nodes),
-		home:     make([]atomic.Int32, np),
-		toucher:  make([]atomic.Int32, np),
+		meta:     make([]atomic.Pointer[metaChunk], nc),
 		next:     SpaceBase,
 	}
 	for n := range s.pages {
 		s.pages[n] = make([]atomic.Pointer[pageChunk], nc)
 	}
+	s.intern.table = map[uint64]*Frame{hashPage(zeroFrame.data[:]): zeroFrame}
 	return s
 }
+
+// BindUnshares sets the sink for per-node unshare counts (the protocol's
+// stats counters).  Must be set before threads run; nil disables counting.
+func (s *Space) BindUnshares(fn func(node int)) { s.unshares = fn }
 
 // Nodes returns the node count the space was built for.
 func (s *Space) Nodes() int { return s.nodes }
@@ -235,29 +345,67 @@ func (s *Space) Copy(node int, pid PageID) *PageCopy {
 	return slot.Load()
 }
 
+// metaAt returns pid's home/toucher record, or nil if its chunk was never
+// created (every record in it is unset).
+func (s *Space) metaAt(pid PageID) *struct{ home, toucher atomic.Int32 } {
+	ch := s.meta[pid>>pageChunkShift].Load()
+	if ch == nil {
+		return nil
+	}
+	return &ch[pid&(pageChunkSize-1)]
+}
+
+// metaEnsure returns pid's home/toucher record, creating its chunk on demand.
+func (s *Space) metaEnsure(pid PageID) *struct{ home, toucher atomic.Int32 } {
+	cslot := &s.meta[pid>>pageChunkShift]
+	ch := cslot.Load()
+	if ch == nil {
+		fresh := new(metaChunk)
+		if cslot.CompareAndSwap(nil, fresh) {
+			ch = fresh
+		} else {
+			ch = cslot.Load()
+		}
+	}
+	return &ch[pid&(pageChunkSize-1)]
+}
+
 // Home returns the page's home node, or NoHome as an int (-1).
-func (s *Space) Home(pid PageID) int { return int(s.home[pid].Load()) - 1 }
+func (s *Space) Home(pid PageID) int {
+	if m := s.metaAt(pid); m != nil {
+		return int(m.home.Load()) - 1
+	}
+	return -1
+}
 
 // SetHome forcibly places the primary copy of pid on node (static placement
 // in the base system; migration in CableS).
-func (s *Space) SetHome(pid PageID, node int) { s.home[pid].Store(int32(node) + 1) }
+func (s *Space) SetHome(pid PageID, node int) {
+	s.metaEnsure(pid).home.Store(int32(node) + 1)
+}
 
 // TryFirstTouch sets node as home if the page is unplaced, returning the
 // page's home after the operation and whether this call placed it.
 func (s *Space) TryFirstTouch(pid PageID, node int) (home int, placed bool) {
-	if s.home[pid].CompareAndSwap(0, int32(node)+1) {
+	m := s.metaEnsure(pid)
+	if m.home.CompareAndSwap(0, int32(node)+1) {
 		return node, true
 	}
-	return int(s.home[pid].Load()) - 1, false
+	return int(m.home.Load()) - 1, false
 }
 
 // RecordToucher records node as the page's 4 KB-granularity first toucher.
 func (s *Space) RecordToucher(pid PageID, node int) {
-	s.toucher[pid].CompareAndSwap(0, int32(node)+1)
+	s.metaEnsure(pid).toucher.CompareAndSwap(0, int32(node)+1)
 }
 
 // Toucher returns the 4 KB-granularity first toucher, or -1.
-func (s *Space) Toucher(pid PageID) int { return int(s.toucher[pid].Load()) - 1 }
+func (s *Space) Toucher(pid PageID) int {
+	if m := s.metaAt(pid); m != nil {
+		return int(m.toucher.Load()) - 1
+	}
+	return -1
+}
 
 // AllocSegment carves size bytes out of the arena, aligned to align (which
 // must be a power of two; 0 means 64).  It returns the segment start.
@@ -304,15 +452,84 @@ func (s *Space) Used() int64 {
 // the Figure 6 metric: a page is misplaced when map-unit-granularity home
 // binding gave it a different home than per-page first touch would have.
 func (s *Space) MisplacedPages() (misplaced, total int) {
-	for pid := 0; pid < s.numPages; pid++ {
-		ref := s.toucher[pid].Load()
-		if ref == 0 {
+	for ci := range s.meta {
+		ch := s.meta[ci].Load()
+		if ch == nil {
 			continue
 		}
-		total++
-		if s.home[pid].Load() != ref {
-			misplaced++
+		for i := range ch {
+			ref := ch[i].toucher.Load()
+			if ref == 0 {
+				continue
+			}
+			total++
+			if ch[i].home.Load() != ref {
+				misplaced++
+			}
 		}
 	}
 	return misplaced, total
+}
+
+// Release tears the space down after a run: every copy's frame and twin
+// reference is dropped and the dedup table drained, returning frames to the
+// page pool for the next run (cross-node frames included — at teardown the
+// simulation is quiescent, so no stale reader can exist).  The space must
+// not be used afterwards.  Callers skip Release when a run failed: a
+// panicked cell can leak blocked worker goroutines that still hold frame
+// pointers, and those frames must age out through the GC instead.
+func (s *Space) Release() {
+	for node := range s.pages {
+		s.flush[node].Lock()
+		for ci := range s.pages[node] {
+			ch := s.pages[node][ci].Load()
+			if ch == nil {
+				continue
+			}
+			for i := range ch {
+				pc := ch[i].Load()
+				if pc == nil {
+					continue
+				}
+				pc.Mu.Lock()
+				pc.SetValid(false)
+				pc.SetWritten(false)
+				if pc.twin != nil {
+					releaseQuiesced(pc.twin, s)
+					pc.twin = nil
+				}
+				if f := pc.frame.Load(); f != nil {
+					pc.frame.Store(nil)
+					releaseQuiesced(f, s)
+				}
+				pc.Mu.Unlock()
+			}
+		}
+		s.flush[node].Unlock()
+	}
+	in := &s.intern
+	in.mu.Lock()
+	drain := make([]*Frame, 0, len(in.table))
+	for h, f := range in.table {
+		delete(in.table, h)
+		if !f.zero {
+			f.interned.Store(false)
+			drain = append(drain, f)
+		}
+	}
+	in.mu.Unlock()
+	for _, f := range drain {
+		releaseQuiesced(f, s)
+	}
+}
+
+// releaseQuiesced drops one reference on a quiescent frame, first clearing
+// crossNode so the final release recycles the array into the pool (safe:
+// no reader exists at teardown).
+func releaseQuiesced(f *Frame, sp *Space) {
+	if f.zero {
+		return
+	}
+	f.crossNode.Store(false)
+	f.Release(sp)
 }

@@ -173,7 +173,7 @@ type fakeHandler struct {
 func (h *fakeHandler) ReadFault(t *sim.Task, pid PageID) {
 	pc := h.sp.Copy(t.NodeID, pid)
 	pc.Mu.Lock()
-	pc.EnsureData()
+	pc.EnsureFrame()
 	pc.SetValid(true)
 	pc.Mu.Unlock()
 	h.readFaults++

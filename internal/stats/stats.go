@@ -71,6 +71,13 @@ const (
 	EvWireOps        // operations issued through the wire plane
 	EvPageMigrations // page homes moved through the wire plane (KindMigrate)
 
+	// COW frame store (internal/memsys frame.go).  Appended so earlier
+	// events keep their numeric identities.  Host-memory observability:
+	// both events describe work the paper's system did eagerly (page
+	// copies), so they carry no virtual-time charge of their own.
+	EvCowUnshares // shared frames privatized by the first write of an interval
+	EvDedupHits   // fetches that aliased an existing identical-content frame
+
 	numEvents
 )
 
@@ -89,6 +96,7 @@ var eventKeys = [NumEvents]string{
 	"regRecoveries", "lockRehomes", "barrierRehomes", "pageRehomes",
 	"nodeDetaches", "attachDelays",
 	"wireOps", "pageMigrations",
+	"cowUnshares", "dedupHits",
 }
 
 // String returns the Snapshot key of the event.
