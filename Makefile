@@ -4,9 +4,9 @@
 # without paying full benchmark time) + a profiler export smoke run.
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench hostperf docs profile-smoke mem-smoke
+.PHONY: check vet build test race bench-smoke bench hostperf docs profile-smoke mem-smoke serve-smoke
 
-check: vet build test race bench-smoke docs profile-smoke mem-smoke
+check: vet build test race bench-smoke docs profile-smoke mem-smoke serve-smoke
 
 # Documentation lint: package doc comments on every Go package, and every
 # relative markdown link must resolve (cmd/doccheck, stdlib only).
@@ -37,6 +37,14 @@ bench-smoke:
 # and release every frame.
 mem-smoke:
 	CABLES_FULLSIZE=1 $(GO) test -count=1 -run 'TestMemSmoke|TestFrameLeakBothSched' ./internal/bench/
+
+# Simulation-farm soak (docs/SERVE.md): push >= 1000 queued cells through a
+# live `cablesim serve` farm, assert the queue genuinely backs up, the
+# cache-hit ratio on a repeated sweep, bounded heap, and a clean SIGTERM
+# drain with no leaked goroutines.  Gated behind CABLES_SOAK=1 so plain
+# `go test ./...` stays fast.
+serve-smoke:
+	CABLES_SOAK=1 $(GO) test -count=1 -run TestServeSoak -v ./internal/farm/
 
 # Profiler export smoke: run one profiled cell, export the Perfetto
 # timeline, and validate it (well-formed JSON, spans nest per thread).

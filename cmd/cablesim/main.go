@@ -14,7 +14,8 @@
 //	cablesim counters [-trace] [-profile] [-apps ...] [-procs ...]  # protocol counters
 //	cablesim faults -plan <spec> [-seed N] [-profile] [-apps ...] [-procs ...]
 //	cablesim profile [-scale s] [-apps ...] [-procs ...] [-top N] [-o trace.json]
-//	cablesim all [-scale s]         # everything above (not hostperf/faults)
+//	cablesim serve [-addr :8080] [-jobs N] [-cache-entries N] [-max-queue N]
+//	cablesim all [-scale s]         # everything above (not hostperf/faults/serve)
 //
 // -scale is "test" (fast), "paper" (scaled evaluation sizes, default) or
 // "full" (the testbed's actual SPLASH-2 problem sizes; -full-size is a
@@ -53,18 +54,31 @@
 // ("goroutine" or "event", see DESIGN.md §10); results are checksum-
 // identical across backends, only host wall-clock changes.  The
 // CABLES_SCHED environment variable sets the same default process-wide.
+// `serve` runs the simulation farm: a long-running HTTP/JSON service
+// (internal/farm, API reference in docs/SERVE.md) that accepts sweep specs,
+// shards cells across a bounded worker pool, streams per-cell progress, and
+// content-addresses results so identical cells across sweeps and clients
+// are simulated exactly once.  -addr is the listen address, -cache-entries
+// bounds the LRU result cache, -max-queue bounds admitted-but-unstarted
+// cells; SIGTERM/SIGINT drain gracefully (in-flight cells complete, queued
+// cells are rejected with a retriable status).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"cables/internal/bench"
 	"cables/internal/bench/hostperf"
+	"cables/internal/farm"
 	"cables/internal/fault"
 	"cables/internal/profile"
 	"cables/internal/sim"
@@ -94,6 +108,9 @@ func main() {
 	top := fs.Int("top", 5, "profile: rows shown in the hot-page/lock-contention/epoch tables")
 	planSpec := fs.String("plan", "", `faults: fault plan, e.g. "send:p=0.05;detach:node=1,at=5ms"`)
 	seed := fs.Uint64("seed", 1, "faults: deterministic injection seed")
+	addr := fs.String("addr", ":8080", "serve: HTTP listen address")
+	cacheEntries := fs.Int("cache-entries", 4096, "serve: content-addressed result cache bound (LRU entries)")
+	maxQueue := fs.Int("max-queue", 65536, "serve: max admitted-but-unstarted cells before 503")
 	contended := fs.Bool("contended-sync", false,
 		"wire plane: synchronization messages reserve NIC occupancy (fig5/fig6/counters)")
 	coalesce := fs.Bool("coalesce", false,
@@ -191,6 +208,27 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	case "serve":
+		srv := farm.New(farm.Config{Jobs: *jobs, CacheEntries: *cacheEntries, MaxQueue: *maxQueue})
+		hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+		drained := srv.DrainOnSignal(os.Interrupt, syscall.SIGTERM)
+		go func() {
+			// Wait for the drain (in-flight cells done, queued cells
+			// rejected retriable), then close the listener so running
+			// response streams finish cleanly.
+			<-drained
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = hs.Shutdown(ctx)
+		}()
+		fmt.Fprintf(w, "cablesim serve: listening on %s (jobs=%d cache=%d queue=%d sched=%s)\n",
+			*addr, *jobs, *cacheEntries, *maxQueue, sim.DefaultSchedulerName())
+		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "cablesim: serve: %v\n", err)
+			os.Exit(1)
+		}
+		<-drained
+		fmt.Fprintln(w, "cablesim serve: drained")
 	case "faults":
 		if *planSpec == "" {
 			fmt.Fprintln(os.Stderr, "cablesim: faults needs -plan (see internal/fault for the spec language)")
@@ -339,10 +377,11 @@ func parseInts(s string) []int {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: cablesim <table3|counters|table4|table5|table6|fig5|fig6|fig5+6|limits|hostperf|faults|profile|all> [flags]
-flags: -scale test|paper  -apps A,B  -procs 1,4,8  -gran bytes  -jobs N  -o report.json  -compare old.json
+	fmt.Fprintln(os.Stderr, `usage: cablesim <table3|counters|table4|table5|table6|fig5|fig6|fig5+6|limits|hostperf|faults|profile|serve|all> [flags]
+flags: -scale test|paper|full (-full-size)  -apps A,B  -procs 1,4,8  -gran bytes  -jobs N  -o report.json  -compare old.json
        -trace -profile (counters)  -plan "send:p=0.05;detach:node=1,at=5ms" -seed N -profile (faults)
        -top N -o trace.json (profile: Perfetto/Chrome trace-viewer timeline)
        -contended-sync -coalesce (fig5/fig6/counters wire-plane modes)
-       -sched goroutine|event (thread-manager backend; results identical, host speed differs)`)
+       -sched goroutine|event (thread-manager backend; results identical, host speed differs)
+       -addr :8080 -cache-entries N -max-queue N (serve: the simulation farm, docs/SERVE.md)`)
 }

@@ -15,7 +15,11 @@
 //     documenting it fails CI;
 //   - every registered thread-manager backend (internal/sim schedulerNames)
 //     must appear backquoted in EXPERIMENTS.md, so an undocumented
-//     `-sched` value fails CI.
+//     `-sched` value fails CI;
+//   - every HTTP route the simulation farm registers (internal/farm routes)
+//     must appear backquoted in a docs/SERVE.md table, and every farm stats
+//     key (internal/farm statsKeys) in a SERVE.md or OBSERVABILITY.md
+//     table, so the served API surface cannot drift from its reference.
 //
 // It walks the tree rooted at the optional -root flag (default ".") and
 // exits non-zero listing every violation, so CI can gate on it
@@ -74,6 +78,13 @@ func main() {
 		os.Exit(2)
 	}
 	problems = append(problems, schedProblems...)
+
+	farmProblems, err := checkFarmDocs(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		os.Exit(2)
+	}
+	problems = append(problems, farmProblems...)
 
 	if len(problems) > 0 {
 		sort.Strings(problems)
@@ -268,18 +279,9 @@ func constStrings(path, typeName string) ([]string, error) {
 // documenting it is a CI failure, so the inventories cannot drift.
 func checkObservabilityInventory(root string) ([]string, error) {
 	docPath := filepath.Join(root, "docs", "OBSERVABILITY.md")
-	data, err := os.ReadFile(docPath)
+	documented, err := tableTokens(docPath)
 	if err != nil {
 		return nil, err
-	}
-	documented := map[string]bool{}
-	for _, line := range strings.Split(string(data), "\n") {
-		if !strings.HasPrefix(strings.TrimSpace(line), "|") {
-			continue
-		}
-		for _, m := range backtick.FindAllStringSubmatch(line, -1) {
-			documented[m[1]] = true
-		}
 	}
 
 	type group struct {
@@ -352,6 +354,71 @@ func checkSchedulerDocs(root string) ([]string, error) {
 			problems = append(problems, fmt.Sprintf(
 				"%s: scheduler backend %q (registered in internal/sim/sched.go) is not documented",
 				docPath, name))
+		}
+	}
+	return problems, nil
+}
+
+// tableTokens collects every backquoted token that appears on a markdown
+// table row (a line starting with "|") of the given doc.
+func tableTokens(docPath string) (map[string]bool, error) {
+	data, err := os.ReadFile(docPath)
+	if err != nil {
+		return nil, err
+	}
+	documented := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(strings.TrimSpace(line), "|") {
+			continue
+		}
+		for _, m := range backtick.FindAllStringSubmatch(line, -1) {
+			documented[m[1]] = true
+		}
+	}
+	return documented, nil
+}
+
+// checkFarmDocs keeps the simulation farm's documented API surface in
+// lock-step with the code: every HTTP route the server registers
+// (internal/farm/server.go routes — Server.Handler panics if the mux and
+// this literal disagree) must appear backquoted in a docs/SERVE.md table,
+// and every service stats key (internal/farm/stats.go statsKeys) must
+// appear in a SERVE.md or OBSERVABILITY.md table.  Adding an endpoint or a
+// counter without documenting it is a CI failure.
+func checkFarmDocs(root string) ([]string, error) {
+	servePath := filepath.Join(root, "docs", "SERVE.md")
+	inServe, err := tableTokens(servePath)
+	if err != nil {
+		return nil, err
+	}
+	obsPath := filepath.Join(root, "docs", "OBSERVABILITY.md")
+	inObs, err := tableTokens(obsPath)
+	if err != nil {
+		return nil, err
+	}
+
+	var problems []string
+	routes, err := sliceLiteral(filepath.Join(root, "internal", "farm", "server.go"), "routes")
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range routes {
+		if !inServe[r] {
+			problems = append(problems, fmt.Sprintf(
+				"%s: HTTP route %q (registered in internal/farm/server.go) missing from the endpoint table",
+				servePath, r))
+		}
+	}
+
+	keys, err := sliceLiteral(filepath.Join(root, "internal", "farm", "stats.go"), "statsKeys")
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range keys {
+		if !inServe[k] && !inObs[k] {
+			problems = append(problems, fmt.Sprintf(
+				"%s: farm stats key %q (defined in internal/farm/stats.go) missing from the SERVE.md and OBSERVABILITY.md tables",
+				servePath, k))
 		}
 	}
 	return problems, nil

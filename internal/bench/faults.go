@@ -19,14 +19,7 @@ import (
 // NewFaultRuntime builds an application runtime with a fault injector
 // installed.  inj may be nil, in which case this is exactly NewRuntime.
 func NewFaultRuntime(backend string, procs int, arena int64, costs *sim.Costs, inj *fault.Injector) appapi.Runtime {
-	switch backend {
-	case BackendGenima:
-		return m4.New(m4.Config{Procs: procs, ProcsPerNode: 2, ArenaBytes: arena, Costs: costs, Fault: inj})
-	case BackendCables:
-		return cables.NewM4(cables.M4Config{Procs: procs, ProcsPerNode: 2, ArenaBytes: arena, Costs: costs, Fault: inj})
-	default:
-		panic(fmt.Sprintf("bench: unknown backend %q", backend))
-	}
+	return NewRuntimeOpts(backend, procs, arena, costs, CellOptions{Fault: inj})
 }
 
 // protocolOf digs the SVM protocol instance out of either backend (for

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolRunsAll: every submitted job executes exactly once and Wait
+// blocks until the pool is idle.
+func TestPoolRunsAll(t *testing.T) {
+	p := NewPool(4)
+	defer p.Drain()
+	var ran atomic.Int64
+	for i := 0; i < 100; i++ {
+		if err := p.Submit(func() { ran.Add(1) }); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	p.Wait()
+	if got := ran.Load(); got != 100 {
+		t.Errorf("ran %d jobs, want 100", got)
+	}
+	if q, r := p.Depth(); q != 0 || r != 0 {
+		t.Errorf("depth (%d,%d) after Wait, want (0,0)", q, r)
+	}
+}
+
+// TestPoolDrainReturnsQueued: with one worker held, Drain completes the
+// in-flight job, returns the unstarted ones, and Submit afterwards fails
+// with ErrPoolDraining.
+func TestPoolDrainReturnsQueued(t *testing.T) {
+	p := NewPool(1)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var inFlightDone, queuedRan atomic.Bool
+	if err := p.Submit(func() {
+		close(started)
+		<-release
+		inFlightDone.Store(true)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	for i := 0; i < 3; i++ {
+		if err := p.Submit(func() { queuedRan.Store(true) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	done := make(chan []func())
+	go func() { done <- p.Drain() }()
+	time.Sleep(10 * time.Millisecond) // let Drain flip the intake off
+	close(release)
+	var unstarted []func()
+	select {
+	case unstarted = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain hung")
+	}
+
+	if !inFlightDone.Load() {
+		t.Error("Drain returned before the in-flight job completed")
+	}
+	if queuedRan.Load() {
+		t.Error("a queued job ran during Drain")
+	}
+	if len(unstarted) != 3 {
+		t.Errorf("Drain returned %d unstarted jobs, want 3", len(unstarted))
+	}
+	if err := p.Submit(func() {}); err != ErrPoolDraining {
+		t.Errorf("Submit after Drain: err %v, want ErrPoolDraining", err)
+	}
+}
+
+// TestPoolObserver: the observer sees every queued/running transition and
+// ends at (0, 0) once the pool is idle.
+func TestPoolObserver(t *testing.T) {
+	p := NewPool(2)
+	defer p.Drain()
+	var mu sync.Mutex
+	var lastQ, lastR, maxR int
+	p.SetObserver(func(queued, running int) {
+		mu.Lock()
+		lastQ, lastR = queued, running
+		if running > maxR {
+			maxR = running
+		}
+		mu.Unlock()
+	})
+	for i := 0; i < 20; i++ {
+		p.Submit(func() { time.Sleep(time.Millisecond) })
+	}
+	p.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if lastQ != 0 || lastR != 0 {
+		t.Errorf("observer ended at queued=%d running=%d, want 0,0", lastQ, lastR)
+	}
+	if maxR < 1 || maxR > 2 {
+		t.Errorf("observed max running %d, want within [1,2]", maxR)
+	}
+}
+
+// TestIsolateRecoversPanics: Isolate converts a panic into an error and a
+// clean return into nil.
+func TestIsolateRecoversPanics(t *testing.T) {
+	if err := Isolate(func() { panic("boom") }); err == nil {
+		t.Error("Isolate swallowed a panic without reporting it")
+	}
+	if err := Isolate(func() {}); err != nil {
+		t.Errorf("Isolate on clean fn: %v", err)
+	}
+}

@@ -25,8 +25,6 @@ import (
 	"cables/internal/apps/raytrace"
 	"cables/internal/apps/volrend"
 	"cables/internal/apps/water"
-	cables "cables/internal/core"
-	"cables/internal/m4"
 	"cables/internal/sim"
 	"cables/internal/stats"
 	"cables/internal/wire"
@@ -69,14 +67,7 @@ func NewRuntime(backend string, procs int, arena int64, costs *sim.Costs) appapi
 // NewRuntimeWire builds an application runtime on the chosen backend with
 // explicit wire-plane options (-contended-sync, -coalesce).
 func NewRuntimeWire(backend string, procs int, arena int64, costs *sim.Costs, w wire.Options) appapi.Runtime {
-	switch backend {
-	case BackendGenima:
-		return m4.New(m4.Config{Procs: procs, ProcsPerNode: 2, ArenaBytes: arena, Costs: costs, Wire: w})
-	case BackendCables:
-		return cables.NewM4(cables.M4Config{Procs: procs, ProcsPerNode: 2, ArenaBytes: arena, Costs: costs, Wire: w})
-	default:
-		panic(fmt.Sprintf("bench: unknown backend %q", backend))
-	}
+	return NewRuntimeOpts(backend, procs, arena, costs, CellOptions{Wire: w})
 }
 
 // RunApp executes the named application at the given processor count on the

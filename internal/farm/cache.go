@@ -1,0 +1,106 @@
+package farm
+
+import (
+	"container/list"
+	"sync"
+
+	"cables/internal/apps/appapi"
+	"cables/internal/stats"
+)
+
+// CellResult is the cached, JSON-served outcome of one simulation cell.
+// It is immutable once stored: a cache hit serves exactly these bytes, so
+// repeated identical sweeps are bit-identical to the cold run that filled
+// the entry.
+type CellResult struct {
+	// Key is the cell's content address (CellKey.Hash) and Canonical the
+	// string it hashes — returned so clients can verify what they got.
+	Key       string `json:"key"`
+	Canonical string `json:"canonical"`
+	// Result is the workload outcome (times, checksum, placement census).
+	Result appapi.Result `json:"result"`
+	// Counters is the run's full event-counter snapshot (rendered only for
+	// kind=counters sweeps, but always cached).
+	Counters stats.Snapshot `json:"counters,omitempty"`
+	// Injected counts fault firings; Degraded mirrors the batch CLI's
+	// DEGRADED rendering (faults fired, run still completed correctly).
+	Injected int64 `json:"faultsInjected"`
+	Degraded bool  `json:"degraded"`
+	// Err is the failure message for cells that did not complete.
+	Err string `json:"error,omitempty"`
+	// HostNS is the host wall-clock the fresh simulation took; cache hits
+	// return the original value (how much time the cache saved).
+	HostNS int64 `json:"hostNs"`
+}
+
+// Cache is a bounded LRU of CellResults keyed by content address.  Entry
+// count is the bound (results are small, a few hundred bytes of struct plus
+// the counter snapshot); the least-recently-used entry is evicted first and
+// every eviction is reported through onEvict so the farm's `cacheEvicted`
+// counter cannot miss one.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+	onEvict func()
+}
+
+type cacheEntry struct {
+	key string
+	res *CellResult
+}
+
+// NewCache creates a cache bounded to max entries (at least 1).  onEvict,
+// if non-nil, is called once per evicted entry.
+func NewCache(max int, onEvict func()) *Cache {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+		onEvict: onEvict,
+	}
+}
+
+// Get returns the cached result for key, refreshing its recency.
+func (c *Cache) Get(key string) (*CellResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put stores res under key, evicting least-recently-used entries beyond the
+// bound.  Storing an existing key refreshes the entry.
+func (c *Cache) Put(key string, res *CellResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		if c.onEvict != nil {
+			c.onEvict()
+		}
+	}
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

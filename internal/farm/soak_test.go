@@ -1,0 +1,140 @@
+package farm
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSoak is the `make serve-smoke` soak: it pushes well over 1000
+// queued cells through a live farm, asserts the queue actually backed up and
+// drained, bounds resident memory, proves the cache-hit ratio on a repeated
+// sweep, and finishes with a clean SIGTERM drain and no leaked goroutines.
+// Real simulations run at test scale (a few ms per cell), so the whole soak
+// stays in the tens of seconds.  Gated behind CABLES_SOAK=1 to keep plain
+// `go test ./...` fast.
+func TestServeSoak(t *testing.T) {
+	if os.Getenv("CABLES_SOAK") != "1" {
+		t.Skip("soak test: set CABLES_SOAK=1 (run via `make serve-smoke`)")
+	}
+	base := runtime.NumGoroutine()
+	srv, ts := newTestFarm(t, Config{Jobs: 4})
+
+	// Phase 1: 1000+ distinct cells (unique fault seeds on a real plan keep
+	// every cache key fresh) across 250 sweeps of 4 cells each.  Two
+	// paper-scale plug sweeps (8 cells at ~70-250ms each) occupy every
+	// worker first, so the test-scale backlog genuinely reaches >= 1000
+	// queued cells before the pool chews through it.
+	const sweeps, perSweep, plugCells = 250, 4, 8
+	ids := make([]string, 0, sweeps+2)
+	ids = append(ids,
+		postSweep(t, ts, `{"apps":["FFT"],"procs":[1,4],"backends":["genima","cables"],"scale":"paper"}`).ID,
+		postSweep(t, ts, `{"apps":["FFT"],"procs":[2,8],"backends":["genima","cables"],"scale":"paper"}`).ID)
+	// Submit from many goroutines so admission outruns the workers; a
+	// sampler watches the depth gauge the whole time.
+	var peak atomic.Int64
+	sampling := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-sampling:
+				return
+			default:
+			}
+			if d := srv.Stats().QueueDepth.Load(); d > peak.Load() {
+				peak.Store(d)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	var wg sync.WaitGroup
+	idCh := make(chan string, sweeps)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < sweeps; i += 16 {
+				spec := fmt.Sprintf(
+					`{"apps":["FFT"],"procs":[1,4],"backends":["genima","cables"],"scale":"test","plan":"send:p=0.0001","seed":%d}`, i+1)
+				idCh <- postSweep(t, ts, spec).ID
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(idCh)
+	for id := range idCh {
+		ids = append(ids, id)
+	}
+	close(sampling)
+	for _, id := range ids {
+		if sv := waitSweep(t, ts, id); sv.Status != "done" {
+			t.Fatalf("sweep %s: status %s", id, sv.Status)
+		}
+	}
+	snap := srv.StatsSnapshot()
+	if snap["cellsQueued"] < sweeps*perSweep+plugCells {
+		t.Fatalf("queued %d cells, want >= %d", snap["cellsQueued"], sweeps*perSweep+plugCells)
+	}
+	if snap["cacheMisses"] != sweeps*perSweep+plugCells {
+		t.Errorf("distinct-cell phase: %d misses, want %d", snap["cacheMisses"], sweeps*perSweep+plugCells)
+	}
+	if peak.Load() < 1000 {
+		t.Errorf("queue depth peaked at %d; the soak never sustained >= 1000 queued cells", peak.Load())
+	}
+	t.Logf("distinct phase: %d cells, queue peak %d", snap["cellsQueued"], peak.Load())
+
+	// Phase 2: repeat one 4-cell sweep 250 times; after the first, every
+	// cell must be a hit or a coalesce — assert a >= 99%% hit ratio.
+	repeated := `{"apps":["LU"],"procs":[1,4],"backends":["genima","cables"],"scale":"test"}`
+	missesBefore := snap["cacheMisses"]
+	ids = ids[:0]
+	for i := 0; i < sweeps; i++ {
+		ids = append(ids, postSweep(t, ts, repeated).ID)
+	}
+	for _, id := range ids {
+		if sv := waitSweep(t, ts, id); sv.Status != "done" {
+			t.Fatalf("repeated sweep %s: status %s", id, sv.Status)
+		}
+	}
+	snap = srv.StatsSnapshot()
+	newMisses := snap["cacheMisses"] - missesBefore
+	if newMisses != perSweep {
+		t.Errorf("repeated phase: %d misses, want exactly %d (one per unique cell)", newMisses, perSweep)
+	}
+	served := int64(sweeps * perSweep)
+	ratio := float64(served-newMisses) / float64(served)
+	if ratio < 0.99 {
+		t.Errorf("cache-hit ratio %.4f, want >= 0.99", ratio)
+	}
+	t.Logf("repeated phase: hit ratio %.4f (%d served, %d simulated)", ratio, served, newMisses)
+	admissionInvariant(t, srv)
+
+	// Bounded memory: with the LRU holding at most CacheEntries test-scale
+	// results, the heap must stay far under any runaway threshold.
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > 512<<20 {
+		t.Errorf("heap ballooned to %d MiB after soak", ms.HeapAlloc>>20)
+	}
+	t.Logf("heap after soak: %d MiB, cache entries %d", ms.HeapAlloc>>20, snap["cacheEntries"])
+
+	// Clean SIGTERM drain, no stragglers.
+	drained := srv.DrainOnSignal(syscall.SIGTERM)
+	p, _ := os.FindProcess(os.Getpid())
+	if err := p.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-drained:
+	case <-time.After(30 * time.Second):
+		t.Fatal("SIGTERM drain did not complete")
+	}
+	ts.Close()
+	waitGoroutines(t, base)
+}

@@ -1,0 +1,68 @@
+package farm
+
+import "sync/atomic"
+
+// Stats are the farm's own service counters — host-side bookkeeping of what
+// the service did, entirely separate from the simulated runs' virtual-time
+// counters (internal/stats).  Snapshot keys are listed in statsKeys;
+// cmd/doccheck requires every key to appear in a docs/SERVE.md or
+// docs/OBSERVABILITY.md table, so the inventory cannot drift.
+//
+// Admission accounting: every cell of every accepted sweep increments
+// exactly one of cacheHits (served from the warm cache), cellsCoalesced
+// (joined an identical cell already queued or running) or cacheMisses (a
+// fresh simulation was enqueued), so
+//
+//	cellsQueued == cacheHits + cellsCoalesced + cacheMisses
+//
+// holds at all times, and once the farm is idle every admitted cell has
+// reached exactly one terminal counter:
+//
+//	cellsQueued == cellsDone + cellsFailed + cellsRejected
+type Stats struct {
+	Sweeps         atomic.Int64 // sweeps accepted by POST /v1/sweeps
+	SweepsRejected atomic.Int64 // sweeps refused (draining or queue full)
+	CellsQueued    atomic.Int64 // cells admitted across all accepted sweeps
+	CacheHits      atomic.Int64 // cells served from the warm result cache
+	CacheMisses    atomic.Int64 // cells that enqueued a fresh simulation
+	CellsCoalesced atomic.Int64 // cells that joined an in-flight identical cell
+	CellsDone      atomic.Int64 // cells that reached status done
+	CellsFailed    atomic.Int64 // cells whose simulation failed
+	CellsRejected  atomic.Int64 // queued cells rejected retriable by a drain
+	CacheEvicted   atomic.Int64 // cache entries evicted by the LRU bound
+
+	// Gauges (current values, not monotonic).
+	QueueDepth   atomic.Int64 // simulations queued behind the worker pool
+	CellsRunning atomic.Int64 // simulations executing right now
+}
+
+// statsKeys lists every Snapshot key as string literals: cmd/doccheck
+// parses this literal and requires each key in a SERVE.md/OBSERVABILITY.md
+// inventory table.  cacheEntries is the cache's current entry count,
+// reported alongside the counters by Server.StatsSnapshot.
+var statsKeys = []string{
+	"sweeps", "sweepsRejected",
+	"cellsQueued", "cacheHits", "cacheMisses", "cellsCoalesced",
+	"cellsDone", "cellsFailed", "cellsRejected",
+	"cacheEvicted", "cacheEntries",
+	"queueDepth", "cellsRunning",
+}
+
+// Snapshot returns the counters and gauges as a name->value map (the
+// /v1/stats payload, minus the server-level cacheEntries gauge).
+func (s *Stats) Snapshot() map[string]int64 {
+	return map[string]int64{
+		"sweeps":         s.Sweeps.Load(),
+		"sweepsRejected": s.SweepsRejected.Load(),
+		"cellsQueued":    s.CellsQueued.Load(),
+		"cacheHits":      s.CacheHits.Load(),
+		"cacheMisses":    s.CacheMisses.Load(),
+		"cellsCoalesced": s.CellsCoalesced.Load(),
+		"cellsDone":      s.CellsDone.Load(),
+		"cellsFailed":    s.CellsFailed.Load(),
+		"cellsRejected":  s.CellsRejected.Load(),
+		"cacheEvicted":   s.CacheEvicted.Load(),
+		"queueDepth":     s.QueueDepth.Load(),
+		"cellsRunning":   s.CellsRunning.Load(),
+	}
+}
