@@ -9,6 +9,7 @@
 //	cablesim table6 [-scale s]      # OpenMP SPLASH-2 speedups
 //	cablesim fig5 [-scale s] [-apps FFT,LU,...] [-procs 1,4,8]
 //	cablesim fig6 [-scale s] [-apps ...] [-procs ...] [-gran 4096]
+//	cablesim protocols [-scale s] [-apps ...] [-procs 8]  # coherence-protocol comparison
 //	cablesim limits                 # Tables 1/2 registration-limit demo
 //	cablesim hostperf [-o file] [-compare old.json]  # host-time benchmarks → JSON
 //	cablesim counters [-trace] [-profile] [-apps ...] [-procs ...]  # protocol counters
@@ -54,6 +55,14 @@
 // ("goroutine" or "event", see DESIGN.md §10); results are checksum-
 // identical across backends, only host wall-clock changes.  The
 // CABLES_SCHED environment variable sets the same default process-wide.
+// -protocol selects the coherence protocol ("genima", "commutative" or
+// "delegate", see DESIGN.md §5e) for every simulation in the process; the
+// CABLES_PROTOCOL environment variable sets the same default.  Unlike
+// -sched, the variants deliberately change the wire schedule (and so
+// virtual times); only the computed data (checksums) is invariant.
+// `protocols` runs each app under all three protocols side by side and
+// reports time, checksum, messages, bytes, and the profiler's lock-wait
+// split — the comparison table of EXPERIMENTS.md §"Coherence protocols".
 // `serve` runs the simulation farm: a long-running HTTP/JSON service
 // (internal/farm, API reference in docs/SERVE.md) that accepts sweep specs,
 // shards cells across a bounded worker pool, streams per-cell progress, and
@@ -78,6 +87,7 @@ import (
 
 	"cables/internal/bench"
 	"cables/internal/bench/hostperf"
+	"cables/internal/coherence"
 	"cables/internal/farm"
 	"cables/internal/fault"
 	"cables/internal/profile"
@@ -118,10 +128,17 @@ func main() {
 	sched := fs.String("sched", sim.DefaultSchedulerName(),
 		fmt.Sprintf("thread-manager backend: %s (virtual-time results are identical; host speed differs)",
 			strings.Join(sim.SchedulerNames(), "|")))
+	protocol := fs.String("protocol", coherence.DefaultName(),
+		fmt.Sprintf("coherence protocol: %s (data checksums are identical; wire schedule differs)",
+			strings.Join(coherence.Names(), "|")))
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
 	if err := sim.SetDefaultScheduler(*sched); err != nil {
+		fmt.Fprintf(os.Stderr, "cablesim: %v\n", err)
+		os.Exit(2)
+	}
+	if err := coherence.SetDefault(*protocol); err != nil {
 		fmt.Fprintf(os.Stderr, "cablesim: %v\n", err)
 		os.Exit(2)
 	}
@@ -169,6 +186,12 @@ func main() {
 		data := bench.RunFig5Wire(appList, procList, sc, costs, *jobs, wopts)
 		bench.Fig5(w, data, procList)
 		bench.Fig6(w, data, procList)
+	case "protocols":
+		p := 8
+		if len(procList) > 0 {
+			p = procList[0]
+		}
+		bench.RunProtocols(w, appList, p, sc, costs, *jobs)
 	case "limits":
 		bench.Limits(w)
 	case "hostperf":
@@ -221,8 +244,8 @@ func main() {
 			defer cancel()
 			_ = hs.Shutdown(ctx)
 		}()
-		fmt.Fprintf(w, "cablesim serve: listening on %s (jobs=%d cache=%d queue=%d sched=%s)\n",
-			*addr, *jobs, *cacheEntries, *maxQueue, sim.DefaultSchedulerName())
+		fmt.Fprintf(w, "cablesim serve: listening on %s (jobs=%d cache=%d queue=%d sched=%s protocol=%s)\n",
+			*addr, *jobs, *cacheEntries, *maxQueue, sim.DefaultSchedulerName(), coherence.DefaultName())
 		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			fmt.Fprintf(os.Stderr, "cablesim: serve: %v\n", err)
 			os.Exit(1)
@@ -269,6 +292,13 @@ func main() {
 // suffix).  With profileOn, each run also carries the virtual-time profiler
 // and its profile block (top rows per table) is appended.
 func runCounters(w *os.File, apps []string, procs []int, sc bench.Scale, costs *sim.Costs, jobs int, traceOn, profileOn bool, top int, wopts wire.Options) {
+	// A non-default coherence protocol is labeled on every block so sweep
+	// output under different protocols stays distinguishable; the default
+	// keeps the blocks byte-identical to the pre-protocol output.
+	label := ""
+	if proto := coherence.DefaultName(); proto != coherence.ProtoGenima {
+		label = " [protocol=" + proto + "]"
+	}
 	if len(apps) == 0 {
 		apps = bench.AppNames
 	}
@@ -301,7 +331,7 @@ func runCounters(w *os.File, apps []string, procs []int, sc bench.Scale, costs *
 				blocks[i] = fmt.Sprintf("%s/%s p=%d: FAILED: %v\n", s.app, s.backend, s.procs, err)
 				return
 			}
-			block := fmt.Sprintf("%s\n  %s\n", res, ctr)
+			block := fmt.Sprintf("%s%s\n  %s\n", res, label, ctr)
 			if ring != nil {
 				block += traceBlock(ring)
 			}
@@ -316,7 +346,7 @@ func runCounters(w *os.File, apps []string, procs []int, sc bench.Scale, costs *
 			blocks[i] = fmt.Sprintf("%s/%s p=%d: FAILED: %v\n", s.app, s.backend, s.procs, err)
 			return
 		}
-		blocks[i] = fmt.Sprintf("%s\n  %s\n", res, ctr)
+		blocks[i] = fmt.Sprintf("%s%s\n  %s\n", res, label, ctr)
 	})
 	for i, b := range blocks {
 		if errs[i] != nil {
@@ -377,11 +407,12 @@ func parseInts(s string) []int {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: cablesim <table3|counters|table4|table5|table6|fig5|fig6|fig5+6|limits|hostperf|faults|profile|serve|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: cablesim <table3|counters|table4|table5|table6|fig5|fig6|fig5+6|protocols|limits|hostperf|faults|profile|serve|all> [flags]
 flags: -scale test|paper|full (-full-size)  -apps A,B  -procs 1,4,8  -gran bytes  -jobs N  -o report.json  -compare old.json
        -trace -profile (counters)  -plan "send:p=0.05;detach:node=1,at=5ms" -seed N -profile (faults)
        -top N -o trace.json (profile: Perfetto/Chrome trace-viewer timeline)
        -contended-sync -coalesce (fig5/fig6/counters wire-plane modes)
        -sched goroutine|event (thread-manager backend; results identical, host speed differs)
+       -protocol genima|commutative|delegate (coherence protocol; checksums identical, wire schedule differs)
        -addr :8080 -cache-entries N -max-queue N (serve: the simulation farm, docs/SERVE.md)`)
 }

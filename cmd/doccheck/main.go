@@ -86,6 +86,13 @@ func main() {
 	}
 	problems = append(problems, farmProblems...)
 
+	protoProblems, err := checkProtocolDocs(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		os.Exit(2)
+	}
+	problems = append(problems, protoProblems...)
+
 	if len(problems) > 0 {
 		sort.Strings(problems)
 		for _, p := range problems {
@@ -354,6 +361,78 @@ func checkSchedulerDocs(root string) ([]string, error) {
 			problems = append(problems, fmt.Sprintf(
 				"%s: scheduler backend %q (registered in internal/sim/sched.go) is not documented",
 				docPath, name))
+		}
+	}
+	return problems, nil
+}
+
+// checkProtocolDocs keeps the coherence-protocol surface documented:
+// every name in internal/coherence's protocolNames must appear backquoted
+// in both DESIGN.md (the protocol-seam section) and EXPERIMENTS.md (how to
+// select it), and every wire op kind in internal/wire's kindNames must
+// appear backquoted as `wire.<kind>` in docs/OBSERVABILITY.md — so
+// shipping a new protocol or wire op kind without documenting it is a CI
+// failure.
+func checkProtocolDocs(root string) ([]string, error) {
+	// Scan line by line, skipping fenced code blocks: a ``` fence has an
+	// odd backtick count, which would desynchronize the pair-matching
+	// regex for the rest of the file.
+	backticksOf := func(path string) (map[string]bool, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		documented := map[string]bool{}
+		inFence := false
+		for _, line := range strings.Split(string(data), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				inFence = !inFence
+				continue
+			}
+			if inFence {
+				continue
+			}
+			for _, m := range backtick.FindAllStringSubmatch(line, -1) {
+				documented[m[1]] = true
+			}
+		}
+		return documented, nil
+	}
+
+	names, err := sliceLiteral(filepath.Join(root, "internal", "coherence", "coherence.go"), "protocolNames")
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, doc := range []string{"DESIGN.md", "EXPERIMENTS.md"} {
+		docPath := filepath.Join(root, doc)
+		documented, err := backticksOf(docPath)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range names {
+			if !documented[name] {
+				problems = append(problems, fmt.Sprintf(
+					"%s: coherence protocol %q (registered in internal/coherence/coherence.go) is not documented",
+					docPath, name))
+			}
+		}
+	}
+
+	kinds, err := sliceLiteral(filepath.Join(root, "internal", "wire", "wire.go"), "kindNames")
+	if err != nil {
+		return nil, err
+	}
+	obsPath := filepath.Join(root, "docs", "OBSERVABILITY.md")
+	inObs, err := backticksOf(obsPath)
+	if err != nil {
+		return nil, err
+	}
+	for _, kind := range kinds {
+		if !inObs["wire."+kind] {
+			problems = append(problems, fmt.Sprintf(
+				"%s: wire op kind `wire.%s` (registered in internal/wire/wire.go) is not documented",
+				obsPath, kind))
 		}
 	}
 	return problems, nil

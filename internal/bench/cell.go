@@ -26,6 +26,9 @@ type CellOptions struct {
 	Wire wire.Options
 	// Fault optionally injects deterministic faults (see internal/fault).
 	Fault *fault.Injector
+	// Protocol names the coherence policy (coherence.Names); empty selects
+	// the process default (CABLES_PROTOCOL / `cablesim -protocol`).
+	Protocol string
 }
 
 // NewRuntimeOpts builds an application runtime on the chosen backend with
@@ -35,10 +38,10 @@ func NewRuntimeOpts(backend string, procs int, arena int64, costs *sim.Costs, o 
 	switch backend {
 	case BackendGenima:
 		return m4.New(m4.Config{Procs: procs, ProcsPerNode: 2, ArenaBytes: arena,
-			Costs: costs, Wire: o.Wire, Fault: o.Fault, Sched: o.Sched})
+			Costs: costs, Wire: o.Wire, Fault: o.Fault, Sched: o.Sched, Protocol: o.Protocol})
 	case BackendCables:
 		return cables.NewM4(cables.M4Config{Procs: procs, ProcsPerNode: 2, ArenaBytes: arena,
-			Costs: costs, Wire: o.Wire, Fault: o.Fault, Sched: o.Sched})
+			Costs: costs, Wire: o.Wire, Fault: o.Fault, Sched: o.Sched, Protocol: o.Protocol})
 	default:
 		panic("bench: unknown backend " + backend)
 	}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"cables/internal/apps/appapi"
+	"cables/internal/coherence"
 	cables "cables/internal/core"
 	"cables/internal/fault"
 	"cables/internal/genima"
@@ -161,8 +162,15 @@ func RunFaults(w io.Writer, plan fault.Plan, seed uint64, apps []string, procs [
 			tab.AddRow(row...)
 		}
 	}
+	// Label the active protocol when it is not the default, so DEGRADED
+	// cells from different protocol sweeps stay distinguishable; the
+	// default's census lines are byte-identical to the pre-protocol output.
+	label := ""
+	if proto := coherence.DefaultName(); proto != coherence.ProtoGenima {
+		label = " protocol=" + proto
+	}
 	if w != nil {
-		fprintf(w, "Fault sweep: plan %q seed %d\n%s\n", plan, seed, tab)
+		fprintf(w, "Fault sweep: plan %q seed %d%s\n%s\n", plan, seed, label, tab)
 		for _, app := range apps {
 			for _, p := range procs {
 				for _, backend := range []string{BackendGenima, BackendCables} {
@@ -179,7 +187,7 @@ func RunFaults(w io.Writer, plan fault.Plan, seed uint64, apps []string, procs [
 					// Ring truncation rides every census: a quiet cell still
 					// reports dropped=0, and an overwritten ring is never
 					// silently passed off as complete.
-					fprintf(w, "%s/%s p=%d:%s dropped=%d\n", app, backend, p, line, c.Dropped)
+					fprintf(w, "%s/%s%s p=%d:%s dropped=%d\n", app, backend, label, p, line, c.Dropped)
 					if c.Report != nil {
 						fprintf(w, "%s", ProfileBlock(c.Report, c.Windows, profTop))
 					}

@@ -19,6 +19,13 @@ const maxWirePlaneOverhead = 0.02
 // no profiler attached, OpenSpan/CloseSpan must stay a nil check.
 const maxProfileOverhead = 0.005
 
+// maxProtocolDispatchOverhead is the comparison gate on the coherence
+// protocol seam: the interface consultations one flush performs on the
+// default genima path (per-diff MergeDiff plus the Merge mode check) may
+// cost at most 1% of the flush itself
+// (Derived["protocol_dispatch_overhead"]), and must not allocate.
+const maxProtocolDispatchOverhead = 0.01
+
 // minSchedSpeedup is the comparison gate on the event scheduler backend:
 // fig5-small at jobs=NumCPU must run at least this much faster under
 // sched/event than under sched/goroutine (Derived["fig5_small_speedup_sched"]).
@@ -89,6 +96,13 @@ func Compare(w io.Writer, old, cur Report) error {
 	}
 	if n, ok := cur.Derived["wire_do_allocs_per_op"]; ok && n > 0 {
 		return fmt.Errorf("wire/do allocates (%.0f allocs/op): the wire fast path must stay allocation-free", n)
+	}
+	if ov, ok := cur.Derived["protocol_dispatch_overhead"]; ok && ov > maxProtocolDispatchOverhead {
+		return fmt.Errorf("protocol_dispatch_overhead %.4f exceeds the %.0f%% gate: the coherence-protocol seam is no longer free on the genima path",
+			ov, maxProtocolDispatchOverhead*100)
+	}
+	if n, ok := cur.Derived["protocol_dispatch_allocs_per_op"]; ok && n > 0 {
+		return fmt.Errorf("protocol/dispatch allocates (%.0f allocs/op): the genima fast path must stay allocation-free", n)
 	}
 	if sp, ok := cur.Derived["fig5_small_speedup_sched"]; ok && cur.GOMAXPROCS >= 2 && sp < minSchedSpeedup {
 		return fmt.Errorf("fig5_small_speedup_sched %.2f below the %.1fx gate: the event scheduler no longer beats free-running goroutines on a %d-way host",

@@ -26,6 +26,7 @@ import (
 	"testing"
 
 	"cables/internal/bench"
+	"cables/internal/coherence"
 	"cables/internal/m4"
 	"cables/internal/memsys"
 	"cables/internal/sim"
@@ -55,6 +56,7 @@ func Cases() []Case {
 		{"acquire", Acquire},
 		{"wire/do", WireDo},
 		{"wire/direct", WireDirect},
+		{"protocol/dispatch", ProtocolDispatch},
 		{"profile/detached", ProfileDetached},
 		{"profile/attached", ProfileAttached},
 		{"e2e/fft", E2EFFT},
@@ -297,6 +299,35 @@ func Acquire(b *testing.B) {
 	wg.Wait()
 }
 
+// dispatchPol is a package-level interface variable so the compiler cannot
+// devirtualize the calls under test: the benchmark must pay the same
+// indirect-call cost the flush path pays through Protocol.pol.
+var dispatchPol coherence.Protocol = coherence.MustNew(coherence.ProtoGenima)
+
+// ProtocolDispatch measures what the coherence-protocol seam adds to one
+// flush operation on the default (genima) fast path: the per-diff
+// MergeDiff consultations (8, matching the Flush benchmark's dirty-page
+// count) plus the per-flush Merge mode check, all through the interface.
+// Every call is a no-op under genima — the benchmark prices the interface
+// indirection itself, which the protocol_dispatch_overhead compare gate
+// holds at ≤1% of a flush, with zero allocations.
+func ProtocolDispatch(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := false
+	for i := 0; i < b.N; i++ {
+		if dispatchPol.Merge() {
+			sink = !sink
+		}
+		for p := 0; p < 8; p++ {
+			if dispatchPol.MergeDiff(1, memsys.PageID(p), 0, 128) {
+				sink = !sink
+			}
+		}
+	}
+	_ = sink
+}
+
 // --- End-to-end application benchmarks ---
 
 func benchApp(b *testing.B, app string) {
@@ -386,6 +417,13 @@ func Run() Report {
 	// The wire fast path must stay allocation-free whether or not a
 	// profiler/ring is attached; Compare gates this at exactly zero.
 	rep.Derived["wire_do_allocs_per_op"] = float64(rep.Benchmarks["wire/do"].AllocsPerOp)
+	// Coherence-protocol seam cost on the default fast path: the interface
+	// consultations one flush performs, relative to the flush itself.
+	// Compare gates the ratio at 1% and the allocation count at zero.
+	if fl := rep.Benchmarks["flush"].NsPerOp; fl > 0 {
+		rep.Derived["protocol_dispatch_overhead"] = rep.Benchmarks["protocol/dispatch"].NsPerOp / fl
+	}
+	rep.Derived["protocol_dispatch_allocs_per_op"] = float64(rep.Benchmarks["protocol/dispatch"].AllocsPerOp)
 	rep.Derived["flush_allocs_per_op"] = float64(rep.Benchmarks["flush"].AllocsPerOp)
 	rep.Derived["flush_bytes_per_op"] = float64(rep.Benchmarks["flush"].BytesPerOp)
 	rep.Derived["acquire_allocs_per_op"] = float64(rep.Benchmarks["acquire"].AllocsPerOp)

@@ -77,6 +77,56 @@ func TestCompareGatesProfileOverhead(t *testing.T) {
 	}
 }
 
+// TestCompareGatesProtocolDispatch: the coherence-protocol seam gate — a
+// report whose protocol_dispatch_overhead exceeds 1% of a flush, or whose
+// genima dispatch path allocates, makes Compare return an error.
+func TestCompareGatesProtocolDispatch(t *testing.T) {
+	old := Report{Benchmarks: map[string]Metric{}, Derived: map[string]float64{}}
+	ok := Report{Benchmarks: map[string]Metric{},
+		Derived: map[string]float64{"protocol_dispatch_overhead": 0.002, "protocol_dispatch_allocs_per_op": 0}}
+	var buf bytes.Buffer
+	if err := Compare(&buf, old, ok); err != nil {
+		t.Fatalf("overhead under the gate rejected: %v", err)
+	}
+	slow := Report{Benchmarks: map[string]Metric{},
+		Derived: map[string]float64{"protocol_dispatch_overhead": 0.05}}
+	if err := Compare(&buf, old, slow); err == nil {
+		t.Fatal("5% protocol-dispatch overhead passed the 1% gate")
+	}
+	leaky := Report{Benchmarks: map[string]Metric{},
+		Derived: map[string]float64{"protocol_dispatch_allocs_per_op": 1}}
+	if err := Compare(&buf, old, leaky); err == nil {
+		t.Fatal("an allocating genima dispatch path passed the zero-alloc gate")
+	}
+}
+
+// TestProtocolDispatchOverheadSmall runs the dispatch and flush benchmarks
+// on this host and checks the seam's consultation cost stays under the
+// gate and allocation-free: the default genima protocol must be invisible.
+func TestProtocolDispatchOverheadSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmarks under -short")
+	}
+	rep := Report{Benchmarks: map[string]Metric{}, Derived: map[string]float64{}}
+	for _, c := range Cases() {
+		switch c.Name {
+		case "flush", "protocol/dispatch":
+			r := testing.Benchmark(c.Fn)
+			rep.Benchmarks[c.Name] = Metric{
+				NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp(), N: r.N}
+		}
+	}
+	ov := rep.Benchmarks["protocol/dispatch"].NsPerOp / rep.Benchmarks["flush"].NsPerOp
+	if ov > maxProtocolDispatchOverhead {
+		t.Errorf("protocol dispatch overhead %.4f exceeds the %.2f gate (dispatch %.1fns, flush %.1fns)",
+			ov, maxProtocolDispatchOverhead, rep.Benchmarks["protocol/dispatch"].NsPerOp,
+			rep.Benchmarks["flush"].NsPerOp)
+	}
+	if n := rep.Benchmarks["protocol/dispatch"].AllocsPerOp; n != 0 {
+		t.Errorf("protocol/dispatch allocates: %d allocs/op", n)
+	}
+}
+
 // TestProfileOverheadSmall runs the detached-probe and flush benchmarks on
 // this host and checks the derived ratio stays under the gate, and that
 // both the detached probe site and the wire fast path are allocation-free.

@@ -40,6 +40,9 @@ type M4Config struct {
 	Fault *fault.Injector
 	// Wire selects the wire plane's opt-in modes.
 	Wire wire.Options
+	// Protocol names the coherence policy (coherence.Names); empty
+	// selects the process default.
+	Protocol string
 	// Sched names the thread-manager backend (sim.SchedulerNames); empty
 	// selects the process default (CABLES_SCHED / `cablesim -sched`).
 	Sched string
@@ -64,6 +67,7 @@ func NewM4(cfg M4Config) *M4Runtime {
 		Fault:           cfg.Fault,
 		Wire:            cfg.Wire,
 		Sched:           cfg.Sched,
+		Protocol:        cfg.Protocol,
 	})
 	rt.Start()
 	return &M4Runtime{

@@ -176,7 +176,7 @@ func (m *MemManager) growHome(t *sim.Task, node int, extra int64) error {
 func (m *MemManager) HomeFor(t *sim.Task, pid memsys.PageID) int {
 	unit := m.UnitOf(pid)
 	c := m.rt.cl.Costs
-	node := t.NodeID
+	node := t.MemNode()
 	master := m.rt.acb.masterNode
 
 	if h := m.unitHome[unit].Load(); h >= 0 {
@@ -214,7 +214,7 @@ func (m *MemManager) HomeFor(t *sim.Task, pid memsys.PageID) int {
 			m.rt.cl.Wire.Do(t, wire.Op{Kind: wire.KindSegMigrate, Dst: master, Arg: uint64(unit)})
 		}
 		m.unitSeen[node][unit].Store(true)
-		m.rt.cl.Ctr.Add(t.NodeID, stats.EvSegMigrations, 1)
+		m.rt.cl.Ctr.Add(node, stats.EvSegMigrations, 1)
 		return int(want)
 	}
 	m.chargeDetect(t, unit)
@@ -226,7 +226,7 @@ func (m *MemManager) HomeFor(t *sim.Task, pid memsys.PageID) int {
 // fetch otherwise.
 func (m *MemManager) chargeDetect(t *sim.Task, unit int) {
 	c := m.rt.cl.Costs
-	node := t.NodeID
+	node := t.MemNode()
 	t.Charge(sim.CatLocal, c.SegDetectLocal)
 	if !m.unitSeen[node][unit].Load() {
 		m.unitSeen[node][unit].Store(true)

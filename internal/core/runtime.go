@@ -68,6 +68,9 @@ type Config struct {
 	// Sched names the thread-manager backend (sim.SchedulerNames); empty
 	// selects the process default (CABLES_SCHED / `cablesim -sched`).
 	Sched string
+	// Protocol names the coherence policy (coherence.Names); empty selects
+	// the process default (CABLES_PROTOCOL / `cablesim -protocol`).
+	Protocol string
 }
 
 // Runtime is one CableS application instance.
@@ -160,6 +163,9 @@ func New(cfg Config) *Runtime {
 	}
 	rt.mem = newMemManager(rt)
 	rt.proto = genima.New(cl, cfg.ArenaBytes, rt.mem)
+	if err := rt.proto.UseProtocol(cfg.Protocol); err != nil {
+		panic(fmt.Sprintf("cables: %v", err))
+	}
 	rt.mem.bind(rt.proto.Space())
 	return rt
 }

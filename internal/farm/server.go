@@ -250,9 +250,10 @@ func runCellSim(k CellKey) *CellResult {
 		inj = fault.New(plan, k.Seed)
 	}
 	opt := bench.CellOptions{
-		Sched: k.Sched,
-		Wire:  wire.Options{ContendedSync: k.ContendedSync, Coalesce: k.Coalesce},
-		Fault: inj,
+		Sched:    k.Sched,
+		Protocol: k.Protocol,
+		Wire:     wire.Options{ContendedSync: k.ContendedSync, Coalesce: k.Coalesce},
+		Fault:    inj,
 	}
 	res, ctr, err := bench.RunAppCell(k.App, k.Backend, k.Procs, bench.Scale(k.Scale), costs, opt)
 	cr := &CellResult{Result: res}

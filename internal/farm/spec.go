@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"cables/internal/bench"
+	"cables/internal/coherence"
 	"cables/internal/fault"
 	"cables/internal/sim"
 )
@@ -33,6 +34,10 @@ type Spec struct {
 	// the serving process's default.  The resolved name is part of the
 	// cache key.
 	Sched string `json:"sched,omitempty"`
+	// Protocol is the coherence protocol (coherence.Names); empty = the
+	// serving process's default.  A non-default resolved name is part of
+	// the cache key (the default keeps pre-protocol keys unchanged).
+	Protocol string `json:"protocol,omitempty"`
 	// Gran overrides the OS mapping granularity in bytes (0 = the model's
 	// 64 KB default).
 	Gran int `json:"gran,omitempty"`
@@ -119,6 +124,12 @@ func (s *Spec) Normalize() error {
 	if !valid {
 		return fmt.Errorf("farm: unknown scheduler backend %q (have %v)", s.Sched, sim.SchedulerNames())
 	}
+	if s.Protocol == "" {
+		s.Protocol = coherence.DefaultName()
+	}
+	if !coherence.Valid(s.Protocol) {
+		return fmt.Errorf("farm: unknown coherence protocol %q (have %v)", s.Protocol, coherence.Names())
+	}
 	if s.Gran < 0 {
 		return fmt.Errorf("farm: negative mapping granularity %d", s.Gran)
 	}
@@ -144,7 +155,7 @@ func (s Spec) Cells() []CellKey {
 			for _, b := range s.Backends {
 				cells = append(cells, CellKey{
 					App: app, Procs: p, Backend: b,
-					Scale: s.Scale, Sched: s.Sched, Gran: s.Gran,
+					Scale: s.Scale, Sched: s.Sched, Protocol: s.Protocol, Gran: s.Gran,
 					ContendedSync: s.ContendedSync, Coalesce: s.Coalesce,
 					Plan: s.Plan, Seed: s.Seed,
 				})
@@ -165,6 +176,7 @@ type CellKey struct {
 	Backend       string `json:"backend"`
 	Scale         string `json:"scale"`
 	Sched         string `json:"sched"`
+	Protocol      string `json:"protocol"`
 	Gran          int    `json:"gran"`
 	ContendedSync bool   `json:"contendedSync"`
 	Coalesce      bool   `json:"coalesce"`
@@ -181,9 +193,16 @@ const cacheSchema = "cables-farm-v1"
 // cache address: a fixed field order, every field present (defaults
 // included), prefixed by the schema version.
 func (k CellKey) Canonical() string {
-	return fmt.Sprintf("%s|app=%s|procs=%d|backend=%s|scale=%s|sched=%s|gran=%d|contended=%t|coalesce=%t|plan=%s|seed=%d",
+	c := fmt.Sprintf("%s|app=%s|procs=%d|backend=%s|scale=%s|sched=%s|gran=%d|contended=%t|coalesce=%t|plan=%s|seed=%d",
 		cacheSchema, k.App, k.Procs, k.Backend, k.Scale, k.Sched, k.Gran,
 		k.ContendedSync, k.Coalesce, k.Plan, k.Seed)
+	// The protocol field is appended only when non-default, so every
+	// cache entry addressed before protocols existed keeps its key: a
+	// default-protocol spec hashes identically to a pre-protocol one.
+	if k.Protocol != "" && k.Protocol != coherence.ProtoGenima {
+		c += "|protocol=" + k.Protocol
+	}
+	return c
 }
 
 // Hash returns the cell's content address: the hex SHA-256 of Canonical().

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"cables/internal/coherence"
 	"cables/internal/memsys"
 	"cables/internal/nodeos"
 	"cables/internal/profile"
@@ -47,7 +48,7 @@ type Placement interface {
 type FirstTouch struct{}
 
 // HomeFor returns the faulting node.
-func (FirstTouch) HomeFor(t *sim.Task, _ memsys.PageID) int { return t.NodeID }
+func (FirstTouch) HomeFor(t *sim.Task, _ memsys.PageID) int { return t.MemNode() }
 
 // interval is one flushed write interval: the pages node dirtied.
 type interval struct {
@@ -96,6 +97,21 @@ type Protocol struct {
 	acc   *memsys.Accessor
 	place Placement
 
+	// pol is the pluggable coherence policy (internal/coherence).  The
+	// engine owns the SVM mechanism — twins, diffs, notices, the interval
+	// log — and consults pol at the policy points: per outbound diff
+	// (merge routing), per remote fill (observation), and per contended
+	// lock acquire/release (delegation).  Defaults to the no-op genima
+	// policy; UseProtocol selects a variant before the run starts.
+	pol coherence.Protocol
+
+	// delMu guards delegated: the tasks currently executing a delegated
+	// critical section, keyed to the lock that shipped them (so releasing
+	// an unrelated inner lock does not end the delegation).  Touched only
+	// on delegated paths, never by the genima fast path.
+	delMu     sync.Mutex
+	delegated map[*sim.Task]int
+
 	logMu   sync.RWMutex
 	log     []interval
 	logBase atomic.Int64 // absolute index of log[0] (prefix truncated by compaction)
@@ -130,12 +146,14 @@ type Protocol struct {
 // address space of arenaBytes.  place may be nil for base first touch.
 func New(cl *nodeos.Cluster, arenaBytes int64, place Placement) *Protocol {
 	p := &Protocol{
-		cl:    cl,
-		sp:    memsys.NewSpace(cl.NumNodes(), arenaBytes),
-		place: place,
-		nodes: make([]*nodeState, cl.NumNodes()),
-		locks: make(map[int]*SysLock),
-		bars:  make(map[string]*Barrier),
+		cl:        cl,
+		sp:        memsys.NewSpace(cl.NumNodes(), arenaBytes),
+		place:     place,
+		pol:       coherence.MustNew(coherence.ProtoGenima),
+		delegated: make(map[*sim.Task]int),
+		nodes:     make([]*nodeState, cl.NumNodes()),
+		locks:     make(map[int]*SysLock),
+		bars:      make(map[string]*Barrier),
 	}
 	if p.place == nil {
 		p.place = FirstTouch{}
@@ -156,6 +174,21 @@ func New(cl *nodeos.Cluster, arenaBytes int64, place Placement) *Protocol {
 // shared accesses).
 func (p *Protocol) SetPlacement(pl Placement) { p.place = pl }
 
+// UseProtocol selects the coherence policy by name (internal/coherence;
+// the empty string selects the process default).  Must be called before
+// any shared accesses; each run gets a fresh policy instance.
+func (p *Protocol) UseProtocol(name string) error {
+	pol, err := coherence.New(name)
+	if err != nil {
+		return err
+	}
+	p.pol = pol
+	return nil
+}
+
+// ProtocolName returns the active coherence policy's registry name.
+func (p *Protocol) ProtocolName() string { return p.pol.Name() }
+
 // Space returns the protocol's shared address space.
 func (p *Protocol) Space() *memsys.Space { return p.sp }
 
@@ -167,7 +200,7 @@ func (p *Protocol) Cluster() *nodeos.Cluster { return p.cl }
 
 // homeOf resolves (possibly placing) the home of pid for a fault by t.
 func (p *Protocol) homeOf(t *sim.Task, pid memsys.PageID) int {
-	p.sp.RecordToucher(pid, t.NodeID)
+	p.sp.RecordToucher(pid, t.MemNode())
 	if h := p.sp.Home(pid); h >= 0 {
 		return h
 	}
@@ -181,22 +214,23 @@ func (p *Protocol) homeOf(t *sim.Task, pid memsys.PageID) int {
 func (p *Protocol) validate(t *sim.Task, pid memsys.PageID) *memsys.PageCopy {
 	ctr := p.cl.Ctr
 	costs := p.cl.Costs
+	node := t.MemNode()
 	t.OpenSpan(uint8(profile.SpanFault), uint64(pid))
 	defer t.CloseSpan()
-	ctr.Add(t.NodeID, stats.EvPageFaults, 1)
+	ctr.Add(node, stats.EvPageFaults, 1)
 	t.Charge(sim.CatLocal, costs.FaultHandler)
 	if p.Trace != nil {
-		p.Trace.Add(t.Now(), t.NodeID, trace.KindFault, uint64(pid))
+		p.Trace.Add(t.Now(), node, trace.KindFault, uint64(pid))
 	}
 
 	home := p.homeOf(t, pid)
-	pc := p.sp.Copy(t.NodeID, pid)
+	pc := p.sp.Copy(node, pid)
 	pc.Mu.Lock()
 	defer pc.Mu.Unlock()
 	if pc.Valid() {
 		return pc // raced with another thread's fault; already resolved
 	}
-	if home == t.NodeID {
+	if home == node {
 		pc.EnsureFrame()
 		pc.SetValid(true)
 		return pc
@@ -218,7 +252,7 @@ func (p *Protocol) validate(t *sim.Task, pid memsys.PageID) *memsys.PageCopy {
 			hc.Mu.Unlock()
 			p.acc.FlushEnd(home)
 			home = h
-			if home == t.NodeID {
+			if home == node {
 				// Re-homed onto this very node by a sibling thread.
 				pc.EnsureFrame()
 				pc.SetValid(true)
@@ -244,12 +278,12 @@ func (p *Protocol) validate(t *sim.Task, pid memsys.PageID) *memsys.PageCopy {
 		// onto one canonical frame cluster-wide; the fetch's virtual cost
 		// (the wire op below) is charged unchanged either way.
 		if p.sp.DedupFrame(hc) {
-			ctr.Add(t.NodeID, stats.EvDedupHits, 1)
+			ctr.Add(node, stats.EvDedupHits, 1)
 		}
 		pc.AdoptFrame(p.sp, hc)
 		if dead {
 			hc.SetValid(false)
-			p.sp.SetHome(pid, t.NodeID)
+			p.sp.SetHome(pid, node)
 		}
 		hc.Mu.Unlock()
 		p.acc.FlushEnd(home)
@@ -257,16 +291,17 @@ func (p *Protocol) validate(t *sim.Task, pid memsys.PageID) *memsys.PageCopy {
 		if dead {
 			// Adopting the page remaps it into this node's home region.
 			t.Charge(sim.CatLocalOS, costs.OSMapSegment)
-			ctr.Add(t.NodeID, stats.EvPageRehomes, 1)
-			p.cl.Fault.NoteRehome(t.NodeID, t.Now(), uint64(pid))
-			p.PublishInvalidate(t.NodeID, pid)
+			ctr.Add(node, stats.EvPageRehomes, 1)
+			p.cl.Fault.NoteRehome(node, t.Now(), uint64(pid))
+			p.PublishInvalidate(node, pid)
 		}
-		ctr.Add(t.NodeID, stats.EvRemotePageFaults, 1)
+		ctr.Add(node, stats.EvRemotePageFaults, 1)
+		p.pol.PageFetch(node, pid, home)
 		if p.OnRemoteFault != nil {
-			p.OnRemoteFault(t.NodeID, pid)
+			p.OnRemoteFault(node, pid)
 		}
 		if p.Trace != nil {
-			p.Trace.Add(t.Now(), t.NodeID, trace.KindRemoteFill, uint64(pid))
+			p.Trace.Add(t.Now(), node, trace.KindRemoteFill, uint64(pid))
 		}
 		t.MarkSpan(uint8(profile.MarkFill), uint64(pid), uint64(memsys.PageSize))
 		pc.SetValid(true)
@@ -287,7 +322,7 @@ func (p *Protocol) WriteFault(t *sim.Task, pid memsys.PageID) {
 	pc := p.validate(t, pid)
 	pc.Mu.Lock()
 	if !pc.Written() {
-		if p.sp.Home(pid) != t.NodeID {
+		if p.sp.Home(pid) != t.MemNode() {
 			// Twin capture is a reference on the current frame, not a page
 			// copy — the first store unshares the frame and the twin keeps
 			// the pristine image.  The paper's system memcpy'd here, so the
@@ -296,7 +331,7 @@ func (p *Protocol) WriteFault(t *sim.Task, pid memsys.PageID) {
 			t.Charge(sim.CatLocal, sim.Time(memsys.PageSize)) // twin copy
 		}
 		pc.SetWritten(true)
-		ns := p.nodes[t.NodeID]
+		ns := p.nodes[t.MemNode()]
 		ns.dirtyMu.Lock()
 		ns.markDirty(pid)
 		ns.dirtyMu.Unlock()
@@ -314,14 +349,20 @@ func (p *Protocol) WriteFault(t *sim.Task, pid memsys.PageID) {
 // piggyback in the one message header, so a release costs one message per
 // home instead of one per page.  The diffs themselves (and their local
 // diff-computation cost and counters) are unchanged.
-func (p *Protocol) Flush(t *sim.Task) {
-	node := t.NodeID
+func (p *Protocol) Flush(t *sim.Task) { p.flush(t) }
+
+// flush is Flush returning the interval's published page list (the write
+// notices).  The delegated-release path uses the list to drop the origin
+// node's stale copies of the pages the critical section wrote; the slice
+// aliases the interval stored in the log and must not be mutated.
+func (p *Protocol) flush(t *sim.Task) []memsys.PageID {
+	node := t.MemNode()
 	ns := p.nodes[node]
 
 	ns.dirtyMu.Lock()
 	if len(ns.dirtyPages) == 0 {
 		ns.dirtyMu.Unlock()
-		return
+		return nil
 	}
 	// Take the interval's page list and clear its bitmap in one step, so a
 	// concurrent WriteFault re-registers any page it redirties from here on
@@ -340,11 +381,15 @@ func (p *Protocol) Flush(t *sim.Task) {
 	if p.cl.Wire.Options().Coalesce {
 		batch = make(map[int]int)
 	}
+	var merge map[int]int // merging policies: home node -> reduction diff bytes
+	if p.pol.Merge() {
+		merge = make(map[int]int)
+	}
 
 	p.acc.FlushBegin(node)
 	pages := make([]memsys.PageID, 0, len(work))
 	for _, pid := range work {
-		if p.flushPage(t, node, pid, batch) {
+		if p.flushPage(t, node, pid, batch, merge) {
 			pages = append(pages, pid)
 		}
 	}
@@ -356,6 +401,22 @@ func (p *Protocol) Flush(t *sim.Task) {
 		slices.Sort(homes) // deterministic issue order
 		for _, h := range homes {
 			p.cl.Wire.Do(t, wire.Op{Kind: wire.KindWrite, Dst: h, Size: batch[h] + 16})
+		}
+	}
+	if len(merge) > 0 {
+		// Reduction targets travel as one batched merge op per home — the
+		// commutative protocol's entire effect on the wire schedule.  The
+		// diffs themselves were applied to the homes byte-for-byte above,
+		// so data and checksums are identical to the baseline.
+		homes := make([]int, 0, len(merge))
+		for h := range merge {
+			homes = append(homes, h)
+		}
+		slices.Sort(homes) // deterministic issue order
+		for _, h := range homes {
+			p.cl.Wire.Do(t, wire.Op{Kind: wire.KindCommMerge, Dst: h, Size: merge[h] + 16})
+			p.cl.Ctr.Add(node, stats.EvCommMerges, 1)
+			t.MarkSpan(uint8(profile.MarkMerge), uint64(h), uint64(merge[h]))
 		}
 	}
 	p.acc.FlushEnd(node)
@@ -376,12 +437,15 @@ func (p *Protocol) Flush(t *sim.Task) {
 		p.logMu.Unlock()
 		p.cl.Ctr.Add(node, stats.EvWriteNotices, int64(len(pages)))
 	}
+	return pages
 }
 
 // flushPage diffs one dirty page to its home.  Returns whether the page was
 // actually modified (and so needs a write notice).  A non-nil batch gathers
-// the remote-write bytes per home instead of issuing per-page wire ops.
-func (p *Protocol) flushPage(t *sim.Task, node int, pid memsys.PageID, batch map[int]int) bool {
+// the remote-write bytes per home instead of issuing per-page wire ops; a
+// non-nil merge gathers the diffs the coherence policy routes to the
+// flush's reduction batch (one wire.merge op per home).
+func (p *Protocol) flushPage(t *sim.Task, node int, pid memsys.PageID, batch, merge map[int]int) bool {
 	pc := p.sp.Copy(node, pid)
 	pc.Mu.Lock()
 	defer pc.Mu.Unlock()
@@ -399,7 +463,7 @@ func (p *Protocol) flushPage(t *sim.Task, node int, pid memsys.PageID, batch map
 		pc.SetWritten(false)
 		return false
 	}
-	if p.diffToHome(t, node, pid, pc, batch) == 0 {
+	if p.diffToHome(t, node, pid, pc, batch, merge) == 0 {
 		return false
 	}
 	if p.Trace != nil {
@@ -414,8 +478,10 @@ func (p *Protocol) flushPage(t *sim.Task, node int, pid memsys.PageID, batch map
 // through here — it is the only place a diff is computed.  Caller holds
 // pc.Mu; pc must have both data and twin, and the home must be remote.
 // A non-nil batch defers the remote write: the diff bytes are gathered per
-// home and the caller issues one coalesced wire op per home.
-func (p *Protocol) diffToHome(t *sim.Task, node int, pid memsys.PageID, pc *memsys.PageCopy, batch map[int]int) int {
+// home and the caller issues one coalesced wire op per home.  The coherence
+// policy is consulted once per diff (MergeDiff); when it claims the diff
+// and a merge batch is running, the bytes ride the reduction batch instead.
+func (p *Protocol) diffToHome(t *sim.Task, node int, pid memsys.PageID, pc *memsys.PageCopy, batch, merge map[int]int) int {
 	t.OpenSpan(uint8(profile.SpanDiff), uint64(pid))
 	home := p.sp.Home(pid)
 	hc := p.sp.Copy(home, pid)
@@ -454,9 +520,12 @@ func (p *Protocol) diffToHome(t *sim.Task, node int, pid memsys.PageID, pc *mems
 		return 0
 	}
 	t.Charge(sim.CatLocal, p.cl.Costs.DiffTime(diffBytes))
-	if batch != nil {
+	switch {
+	case p.pol.MergeDiff(node, pid, home, diffBytes) && merge != nil:
+		merge[home] += diffBytes
+	case batch != nil:
 		batch[home] += diffBytes
-	} else {
+	default:
 		p.cl.Wire.Do(t, wire.Op{Kind: wire.KindWrite, Dst: home, Size: diffBytes + 16, Arg: uint64(pid)})
 	}
 	p.cl.Ctr.Add(node, stats.EvDiffsSent, 1)
@@ -470,7 +539,7 @@ func (p *Protocol) diffToHome(t *sim.Task, node int, pid memsys.PageID, pc *mems
 // (dirty local copies are force-flushed first so no local writes are lost).
 // Called after obtaining a lock or leaving a barrier.
 func (p *Protocol) ApplyAcquire(t *sim.Task) {
-	node := t.NodeID
+	node := t.MemNode()
 	ns := p.nodes[node]
 	ns.syncMu.Lock()
 	defer ns.syncMu.Unlock()
@@ -549,11 +618,46 @@ func (p *Protocol) forceDiffLocked(t *sim.Task, node int, pid memsys.PageID, pc 
 		pc.SetWritten(false)
 		return
 	}
-	p.diffToHome(t, node, pid, pc, nil)
+	p.diffToHome(t, node, pid, pc, nil, nil)
 	ns := p.nodes[node]
 	ns.dirtyMu.Lock()
 	ns.dirtyBits[pid>>6] &^= uint64(1) << (pid & 63)
 	ns.dirtyMu.Unlock()
+}
+
+// dropCopies invalidates node's local copies of pages, force-flushing any
+// the node's own threads have dirtied first so no writes are lost.  Used
+// when a delegated critical section returns to its origin node: the
+// origin's pre-section copies of the pages the section wrote at the server
+// are stale, and dropping them keeps the returning thread's own writes
+// visible to it (pages homed at the origin took the diffs directly and are
+// kept).
+func (p *Protocol) dropCopies(t *sim.Task, node int, pages []memsys.PageID) {
+	if len(pages) == 0 {
+		return
+	}
+	p.acc.FlushBegin(node)
+	for _, pid := range pages {
+		if p.sp.Home(pid) == node {
+			continue
+		}
+		pc := p.sp.Copy(node, pid)
+		pc.Mu.Lock()
+		if pc.Written() {
+			p.forceDiffLocked(t, node, pid, pc)
+		}
+		if pc.Valid() {
+			pc.SetValid(false)
+			p.cl.Ctr.Add(node, stats.EvInvalidations, 1)
+			if p.Trace != nil {
+				p.Trace.Add(t.Now(), node, trace.KindInvalidate, uint64(pid))
+			}
+		}
+		pc.RetireTwin(p.sp)
+		pc.RetireData(p.sp)
+		pc.Mu.Unlock()
+	}
+	p.acc.FlushEnd(node)
 }
 
 // logCompactThreshold is how many fully-applied intervals may accumulate

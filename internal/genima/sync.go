@@ -26,10 +26,21 @@ type SysLock struct {
 
 	mu          sync.Mutex
 	held        bool
-	queue       []*sim.Task // parked contended acquires, FIFO
+	queue       []lockWaiter // parked contended acquires, FIFO
 	lastRelease sim.Time
-	lastNode    int // node that last held the lock
+	lastNode    int // node that last held (executed) the lock
+	holder      int // node the current holder's critical section executes on
+	server      int // sticky delegation server (coherence policy); -1 = none
 	nodeSeen    []bool
+}
+
+// lockWaiter is one parked contended acquire.  atServer records — decided
+// under l.mu at enqueue time — whether the waiter's critical section will
+// execute at the lock's delegation server, so the releaser can route the
+// grant without racing on the waiter's own state.
+type lockWaiter struct {
+	t        *sim.Task
+	atServer bool
 }
 
 // NewLock creates (or returns) the system lock with the given id.
@@ -39,7 +50,7 @@ func (p *Protocol) NewLock(id int) *SysLock {
 	if l, ok := p.locks[id]; ok {
 		return l
 	}
-	l := &SysLock{p: p, id: id, lastNode: -1, nodeSeen: make([]bool, p.cl.NumNodes())}
+	l := &SysLock{p: p, id: id, lastNode: -1, holder: -1, server: -1, nodeSeen: make([]bool, p.cl.NumNodes())}
 	p.locks[id] = l
 	return l
 }
@@ -99,16 +110,47 @@ func (l *SysLock) Acquire(t *sim.Task) {
 	l.chargeAcquire(t)
 	if !l.held {
 		l.held = true
+		l.holder = t.MemNode()
 		t.WaitUntil(l.lastRelease)
 		l.mu.Unlock()
 	} else {
 		flags |= profile.LockContended
+		// A contended acquire consults the coherence policy: a non-negative
+		// answer is the delegation server this waiter's critical section
+		// should execute on (the delegate protocol stickies it to the
+		// holder's node at first contention; genima always says -1).
+		srv := l.p.pol.LockAcquire(l.id, l.holder, t.NodeID)
+		if srv >= 0 && l.server < 0 {
+			l.server = srv
+		}
+		// Shipping is only possible when the waiter is not already inside a
+		// delegated section (no nested re-targeting) and the server is a
+		// different node; a waiter already on the server executes there
+		// without a descriptor.
+		ship := srv >= 0 && srv != t.NodeID && t.MemNode() == t.NodeID
+		atServer := srv >= 0 && (srv == t.NodeID || ship)
 		// Park through the scheduler (the task's reusable grant channel —
 		// no allocation per contended acquire).  The acquire never abandons
 		// the wait, so the grant is always consumed and the channel stays
 		// clean for reuse.
-		l.queue = append(l.queue, t)
+		l.queue = append(l.queue, lockWaiter{t: t, atServer: atServer})
 		l.mu.Unlock()
+		if ship {
+			// Ship the critical-section descriptor: flush the origin's
+			// write interval first (release semantics travel with the
+			// descriptor, so the section's reads at the server observe the
+			// thread's pre-section writes), then execute against the
+			// server's memory until the matching Release.
+			flags |= profile.LockDelegated
+			l.p.Flush(t)
+			l.p.cl.Wire.Do(t, wire.Op{Kind: wire.KindDelegateReq, Dst: srv, Arg: uint64(l.id)})
+			l.p.cl.Ctr.Add(t.NodeID, stats.EvDelegations, 1)
+			t.MarkSpan(uint8(profile.MarkDelegate), uint64(l.id), uint64(srv))
+			t.SetExecNode(srv)
+			l.p.delMu.Lock()
+			l.p.delegated[t] = l.id
+			l.p.delMu.Unlock()
+		}
 		grant := t.Sched().Park(t) // real block until hand-off
 		t.WaitUntil(grant)
 	}
@@ -147,6 +189,7 @@ func (l *SysLock) TryAcquire(t *sim.Task) bool {
 	flags := lockFlags(l, t)
 	l.chargeAcquire(t)
 	l.held = true
+	l.holder = t.MemNode()
 	t.WaitUntil(l.lastRelease)
 	l.mu.Unlock()
 	t.MarkSpan(uint8(profile.MarkLockAcquired), uint64(l.id), flags)
@@ -158,31 +201,76 @@ func (l *SysLock) TryAcquire(t *sim.Task) bool {
 // Release flushes the caller's write interval and hands the lock to the
 // next waiter (if any).
 func (l *SysLock) Release(t *sim.Task) {
-	l.p.Flush(t)
+	exec := t.MemNode()
+	pages := l.p.flush(t)
 	c := l.p.cl.Costs
 	t.Charge(sim.CatLocal, c.MutexUnlock)
+	// Did this lock's acquire ship the critical section to a server?  The
+	// bookkeeping is keyed to the lock so releasing an unrelated inner lock
+	// inside a delegated section does not end the delegation.
+	delegated := false
+	if exec != t.NodeID {
+		l.p.delMu.Lock()
+		if id, ok := l.p.delegated[t]; ok && id == l.id {
+			delegated = true
+			delete(l.p.delegated, t)
+		}
+		l.p.delMu.Unlock()
+	}
+	if delegated {
+		// Completion notification from the server back to the origin node
+		// (Do sources it at the server: the task still executes there).
+		l.p.cl.Wire.Do(t, wire.Op{Kind: wire.KindDelegateDone, Dst: t.NodeID, Arg: uint64(l.id)})
+	}
+	l.p.pol.LockRelease(l.id, exec, t.NodeID)
 	l.mu.Lock()
 	if !l.held {
 		l.mu.Unlock()
 		panic(fmt.Sprintf("genima: release of unheld lock %d", l.id))
 	}
 	l.lastRelease = t.Now()
-	l.lastNode = t.NodeID
+	l.lastNode = exec
 	t.MarkSpan(uint8(profile.MarkLockReleased), uint64(l.id), 0)
 	if len(l.queue) > 0 {
-		next := l.queue[0]
+		w := l.queue[0]
 		l.queue = l.queue[1:]
+		if w.atServer {
+			l.holder = l.server
+		} else {
+			l.holder = w.t.NodeID
+		}
+		release := l.lastRelease
+		server := l.server
 		l.mu.Unlock()
-		// Hand-off: the waiter resumes at the grant message's delivery
-		// instant (release time plus grant latency; the releaser has moved
-		// on, so the waiter absorbs the latency as wait time).
-		next.Sched().Unpark(next, l.p.cl.Wire.DeliverAt(l.lastRelease, wire.Op{
-			Kind: wire.KindLockGrant, Src: t.NodeID, Dst: next.NodeID, Arg: uint64(l.id),
-		}))
-		return
+		if w.atServer && exec == server {
+			// Server-local hand-off: both critical sections execute at the
+			// delegation server, so the lock state never crosses the wire —
+			// the waiter resumes after an in-memory transfer.  This is the
+			// delegate protocol's transfer-wait reduction.
+			w.t.Sched().Unpark(w.t, release+c.MutexLocalFast)
+		} else {
+			// Hand-off: the waiter resumes at the grant message's delivery
+			// instant (release time plus grant latency; the releaser has
+			// moved on, so the waiter absorbs the latency as wait time).
+			dst := w.t.NodeID
+			if w.atServer {
+				dst = server
+			}
+			w.t.Sched().Unpark(w.t, l.p.cl.Wire.DeliverAt(release, wire.Op{
+				Kind: wire.KindLockGrant, Src: exec, Dst: dst, Arg: uint64(l.id),
+			}))
+		}
+	} else {
+		l.held = false
+		l.mu.Unlock()
 	}
-	l.held = false
-	l.mu.Unlock()
+	if delegated {
+		// Back at the origin: drop its stale copies of the pages the
+		// critical section wrote at the server, so the thread's next reads
+		// refetch its own writes instead of pre-section images.
+		t.SetExecNode(-1)
+		l.p.dropCopies(t, t.NodeID, pages)
+	}
 }
 
 // Barrier is GeNIMA's native global barrier.  Arrival flushes the write
@@ -266,6 +354,7 @@ func (b *Barrier) Wait(t *sim.Task, parties int) {
 			// the release instant for the per-epoch windows.
 			b.p.Epochs.Mark(b.name, int64(b.release))
 		}
+		b.p.pol.BarrierRelease(b.name, parties)
 		b.mu.Unlock()
 		for _, w := range ws {
 			w.Sched().Unpark(w, release)

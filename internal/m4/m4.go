@@ -53,6 +53,9 @@ type Config struct {
 	// Sched names the thread-manager backend (sim.SchedulerNames); empty
 	// selects the process default (CABLES_SCHED / `cablesim -sched`).
 	Sched string
+	// Protocol names the coherence policy (coherence.Names); empty selects
+	// the process default (CABLES_PROTOCOL / `cablesim -protocol`).
+	Protocol string
 }
 
 // New builds a base-system runtime.  All nodes required for Procs are
@@ -81,6 +84,9 @@ func New(cfg Config) *Runtime {
 		proto: genima.New(cl, cfg.ArenaBytes, genima.FirstTouch{}),
 		procs: cfg.Procs,
 		done:  make(map[int]chan sim.Time),
+	}
+	if err := rt.proto.UseProtocol(cfg.Protocol); err != nil {
+		panic(fmt.Sprintf("m4: %v", err))
 	}
 	for _, n := range cl.Nodes {
 		n.SetAttached(true)

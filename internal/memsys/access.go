@@ -58,13 +58,13 @@ func (a *Accessor) check(addr Addr, size int) (PageID, int) {
 // exclusive side — so a reader that passed the validity check can never
 // observe an array after it returns to the page pool.
 func (a *Accessor) pageForRead(t *sim.Task, pid PageID) *PageCopy {
-	pc := a.Sp.Copy(t.NodeID, pid)
+	pc := a.Sp.Copy(t.MemNode(), pid)
 	for {
-		a.Sp.flush[t.NodeID].RLock()
+		a.Sp.flush[t.MemNode()].RLock()
 		if pc.Valid() {
 			return pc
 		}
-		a.Sp.flush[t.NodeID].RUnlock()
+		a.Sp.flush[t.MemNode()].RUnlock()
 		a.H.ReadFault(t, pid)
 	}
 }
@@ -85,21 +85,21 @@ func (a *Accessor) readEnd(node int) { a.Sp.flush[node].RUnlock() }
 // one unshare per page per interval suffices and the per-store fast path
 // is two atomic loads.
 func (a *Accessor) pageForWrite(t *sim.Task, pid PageID) *PageCopy {
-	pc := a.Sp.Copy(t.NodeID, pid)
+	pc := a.Sp.Copy(t.MemNode(), pid)
 	for {
-		a.Sp.flush[t.NodeID].RLock()
+		a.Sp.flush[t.MemNode()].RLock()
 		if pc.Valid() && pc.Written() {
 			if f := pc.frame.Load(); f != nil && f.Exclusive() {
 				return pc
 			}
 			pc.Mu.Lock()
 			if _, copied := pc.EnsureExclusive(a.Sp); copied && a.Sp.unshares != nil {
-				a.Sp.unshares(t.NodeID)
+				a.Sp.unshares(t.MemNode())
 			}
 			pc.Mu.Unlock()
 			return pc
 		}
-		a.Sp.flush[t.NodeID].RUnlock()
+		a.Sp.flush[t.MemNode()].RUnlock()
 		a.H.WriteFault(t, pid)
 	}
 }
@@ -113,7 +113,7 @@ func (a *Accessor) ReadF64(t *sim.Task, addr Addr) float64 {
 	pid, off := a.check(addr, 8)
 	pc := a.pageForRead(t, pid)
 	v := binary.LittleEndian.Uint64(pc.Data()[off:])
-	a.readEnd(t.NodeID)
+	a.readEnd(t.MemNode())
 	t.Compute(t.Costs().MemAccess)
 	return math.Float64frombits(v)
 }
@@ -123,7 +123,7 @@ func (a *Accessor) WriteF64(t *sim.Task, addr Addr, v float64) {
 	pid, off := a.check(addr, 8)
 	pc := a.pageForWrite(t, pid)
 	binary.LittleEndian.PutUint64(pc.Data()[off:], math.Float64bits(v))
-	a.writeEnd(t.NodeID)
+	a.writeEnd(t.MemNode())
 	t.Compute(t.Costs().MemAccess)
 }
 
@@ -132,7 +132,7 @@ func (a *Accessor) ReadI64(t *sim.Task, addr Addr) int64 {
 	pid, off := a.check(addr, 8)
 	pc := a.pageForRead(t, pid)
 	v := binary.LittleEndian.Uint64(pc.Data()[off:])
-	a.readEnd(t.NodeID)
+	a.readEnd(t.MemNode())
 	t.Compute(t.Costs().MemAccess)
 	return int64(v)
 }
@@ -142,7 +142,7 @@ func (a *Accessor) WriteI64(t *sim.Task, addr Addr, v int64) {
 	pid, off := a.check(addr, 8)
 	pc := a.pageForWrite(t, pid)
 	binary.LittleEndian.PutUint64(pc.Data()[off:], uint64(v))
-	a.writeEnd(t.NodeID)
+	a.writeEnd(t.MemNode())
 	t.Compute(t.Costs().MemAccess)
 }
 
@@ -151,7 +151,7 @@ func (a *Accessor) ReadI32(t *sim.Task, addr Addr) int32 {
 	pid, off := a.check(addr, 4)
 	pc := a.pageForRead(t, pid)
 	v := binary.LittleEndian.Uint32(pc.Data()[off:])
-	a.readEnd(t.NodeID)
+	a.readEnd(t.MemNode())
 	t.Compute(t.Costs().MemAccess)
 	return int32(v)
 }
@@ -161,7 +161,7 @@ func (a *Accessor) WriteI32(t *sim.Task, addr Addr, v int32) {
 	pid, off := a.check(addr, 4)
 	pc := a.pageForWrite(t, pid)
 	binary.LittleEndian.PutUint32(pc.Data()[off:], uint32(v))
-	a.writeEnd(t.NodeID)
+	a.writeEnd(t.MemNode())
 	t.Compute(t.Costs().MemAccess)
 }
 
@@ -184,7 +184,7 @@ func (a *Accessor) ReadF64s(t *sim.Task, addr Addr, dst []float64) {
 			dst[i+k] = math.Float64frombits(
 				binary.LittleEndian.Uint64(pc.Data()[off+8*k:]))
 		}
-		a.readEnd(t.NodeID)
+		a.readEnd(t.MemNode())
 		i += n
 		pid++
 		off = 0
@@ -208,7 +208,7 @@ func (a *Accessor) WriteF64s(t *sim.Task, addr Addr, src []float64) {
 		for k := 0; k < n; k++ {
 			binary.LittleEndian.PutUint64(pc.Data()[off+8*k:], math.Float64bits(src[i+k]))
 		}
-		a.writeEnd(t.NodeID)
+		a.writeEnd(t.MemNode())
 		i += n
 		pid++
 		off = 0
@@ -232,7 +232,7 @@ func (a *Accessor) ReadI64s(t *sim.Task, addr Addr, dst []int64) {
 		for k := 0; k < n; k++ {
 			dst[i+k] = int64(binary.LittleEndian.Uint64(pc.Data()[off+8*k:]))
 		}
-		a.readEnd(t.NodeID)
+		a.readEnd(t.MemNode())
 		i += n
 		pid++
 		off = 0
@@ -256,7 +256,7 @@ func (a *Accessor) WriteI64s(t *sim.Task, addr Addr, src []int64) {
 		for k := 0; k < n; k++ {
 			binary.LittleEndian.PutUint64(pc.Data()[off+8*k:], uint64(src[i+k]))
 		}
-		a.writeEnd(t.NodeID)
+		a.writeEnd(t.MemNode())
 		i += n
 		pid++
 		off = 0
@@ -274,6 +274,6 @@ func (a *Accessor) Touch(t *sim.Task, addr Addr, n int) {
 	last := a.Sp.PageOf(addr + Addr(n) - 1)
 	for pid := first; pid <= last; pid++ {
 		a.pageForRead(t, pid)
-		a.readEnd(t.NodeID)
+		a.readEnd(t.MemNode())
 	}
 }

@@ -92,6 +92,12 @@ const (
 	// MarkLockReleased records the instant a lock was released; Arg is the
 	// lock id.
 	MarkLockReleased
+	// MarkDelegate records a critical section shipped to a delegation
+	// server; Arg is the lock id, Val the server node.
+	MarkDelegate
+	// MarkMerge records a batched commutative merge sent at a flush; Arg
+	// is the home node, Val the merged diff bytes.
+	MarkMerge
 
 	numMarkKinds
 )
@@ -99,7 +105,7 @@ const (
 // NumMarkKinds is the number of distinct mark kinds.
 const NumMarkKinds = int(numMarkKinds)
 
-var markNames = [NumMarkKinds]string{"fill", "acquired", "released"}
+var markNames = [NumMarkKinds]string{"fill", "acquired", "released", "delegate", "merge"}
 
 // String returns the mark kind's short name.
 func (k MarkKind) String() string {
@@ -115,6 +121,9 @@ const (
 	LockContended uint64 = 1 << iota
 	// LockRemote marks an acquire whose manager was a remote node.
 	LockRemote
+	// LockDelegated marks an acquire whose critical section was shipped
+	// to the lock's delegation server (delegate protocol).
+	LockDelegated
 )
 
 // WireArgName, when set (package wire registers it at init), names a

@@ -49,6 +49,13 @@ type Task struct {
 	// NodeID is the cluster node the task runs on.
 	NodeID int
 
+	// execNode, when non-zero, overrides the node the task's memory-side
+	// operations act on: node n is stored as n+1 so the zero value means
+	// "no override" and NewTask needs no extra argument.  Set by the
+	// delegate coherence protocol for the span of a delegated critical
+	// section; written and read only by the owner goroutine.
+	execNode int
+
 	clock    atomic.Int64 // virtual now, ns
 	canceled atomic.Bool
 
@@ -99,6 +106,28 @@ func NewTask(id, node int, c *Costs) *Task {
 
 // Costs returns the task's cost table.
 func (t *Task) Costs() *Costs { return t.costs }
+
+// MemNode returns the node the task's memory and communication operations
+// act on: NodeID, unless a delegated critical section has moved execution
+// to a server node (SetExecNode), in which case page faults, flushes and
+// wire-op sources are attributed there.  Scheduling stays keyed on NodeID.
+func (t *Task) MemNode() int {
+	if t.execNode != 0 {
+		return t.execNode - 1
+	}
+	return t.NodeID
+}
+
+// SetExecNode moves the task's memory-side execution to node n (a
+// delegated critical section running at its server); n < 0 clears the
+// override and returns the task to NodeID.  Owner goroutine only.
+func (t *Task) SetExecNode(n int) {
+	if n < 0 {
+		t.execNode = 0
+		return
+	}
+	t.execNode = n + 1
+}
 
 // Sched returns the task's scheduler backend.
 func (t *Task) Sched() Scheduler { return t.sched }

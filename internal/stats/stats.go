@@ -78,6 +78,11 @@ const (
 	EvCowUnshares // shared frames privatized by the first write of an interval
 	EvDedupHits   // fetches that aliased an existing identical-content frame
 
+	// Coherence-protocol variants (internal/coherence).  Appended so
+	// earlier events keep their numeric identities.
+	EvDelegations // critical sections shipped to a lock's delegation server
+	EvCommMerges  // batched commutative merge ops sent at a flush
+
 	numEvents
 )
 
@@ -97,6 +102,7 @@ var eventKeys = [NumEvents]string{
 	"nodeDetaches", "attachDelays",
 	"wireOps", "pageMigrations",
 	"cowUnshares", "dedupHits",
+	"delegations", "commMerges",
 }
 
 // String returns the Snapshot key of the event.

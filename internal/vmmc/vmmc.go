@@ -249,21 +249,23 @@ func localCopyCost(size int) sim.Time { return sim.Time(size) } // ~1GB/s memcpy
 // node to dst.  The data movement itself is performed by the caller on the
 // simulated memory; VMMC accounts time and traffic.
 func (s *System) RemoteWrite(t *sim.Task, dst, size int) {
-	if dst == t.NodeID {
+	n := t.MemNode()
+	if dst == n {
 		t.Charge(sim.CatLocal, localCopyCost(size))
 		return
 	}
-	t.Charge(sim.CatComm, s.fab.Send(t, t.NodeID, dst, size))
+	t.Charge(sim.CatComm, s.fab.Send(t, n, dst, size))
 }
 
 // Fetch charges t for a direct remote read (round trip) of size bytes from
 // node src into t's node.
 func (s *System) Fetch(t *sim.Task, src, size int) {
-	if src == t.NodeID {
+	n := t.MemNode()
+	if src == n {
 		t.Charge(sim.CatLocal, localCopyCost(size))
 		return
 	}
-	t.Charge(sim.CatComm, s.fab.Fetch(t, t.NodeID, src, size))
+	t.Charge(sim.CatComm, s.fab.Fetch(t, n, src, size))
 }
 
 // StreamWrite charges t for a pipelined bulk transfer of size bytes to dst:
@@ -273,38 +275,40 @@ func (s *System) Fetch(t *sim.Task, src, size int) {
 // ordinary sends: each failed attempt costs one pipelined transfer time plus
 // backoff before the retry.
 func (s *System) StreamWrite(t *sim.Task, dst, size int) {
-	if dst == t.NodeID {
+	n := t.MemNode()
+	if dst == n {
 		t.Charge(sim.CatLocal, localCopyCost(size))
 		return
 	}
 	c := s.fab.Costs()
 	now := t.Now()
 	var penalty sim.Time
-	for a := 0; a < fault.MaxSendRetries && s.inj.FailSend(t.NodeID, dst, a, now); a++ {
+	for a := 0; a < fault.MaxSendRetries && s.inj.FailSend(n, dst, a, now); a++ {
 		penalty += c.SendBase + c.Occupancy(size) + fault.Backoff(a)
 	}
 	t.Charge(sim.CatComm, c.SendBase+c.Occupancy(size)+penalty)
-	s.fab.Counters().Add(t.NodeID, stats.EvMessagesSent, 1)
-	s.fab.Counters().Add(t.NodeID, stats.EvBytesSent, int64(size))
+	s.fab.Counters().Add(n, stats.EvMessagesSent, 1)
+	s.fab.Counters().Add(n, stats.EvBytesSent, int64(size))
 }
 
 // StreamFetch is the read-side mirror of StreamWrite: a pipelined bulk read
 // of size bytes from src — one round-trip base latency plus bandwidth-limited
 // occupancy (Table 3's read-bandwidth microbenchmark).
 func (s *System) StreamFetch(t *sim.Task, src, size int) {
-	if src == t.NodeID {
+	n := t.MemNode()
+	if src == n {
 		t.Charge(sim.CatLocal, localCopyCost(size))
 		return
 	}
 	c := s.fab.Costs()
 	now := t.Now()
 	var penalty sim.Time
-	for a := 0; a < fault.MaxSendRetries && s.inj.FailFetch(t.NodeID, src, a, now); a++ {
+	for a := 0; a < fault.MaxSendRetries && s.inj.FailFetch(n, src, a, now); a++ {
 		penalty += c.FetchBase + c.Occupancy(size) + fault.Backoff(a)
 	}
 	t.Charge(sim.CatComm, c.FetchBase+c.Occupancy(size)+penalty)
-	s.fab.Counters().Add(t.NodeID, stats.EvFetches, 1)
-	s.fab.Counters().Add(t.NodeID, stats.EvBytesFetched, int64(size))
+	s.fab.Counters().Add(n, stats.EvFetches, 1)
+	s.fab.Counters().Add(n, stats.EvBytesFetched, int64(size))
 }
 
 // Notify charges t for a send carrying size bytes to dst plus the
@@ -313,17 +317,18 @@ func (s *System) StreamFetch(t *sim.Task, src, size int) {
 // before the re-send; delivery is guaranteed within MaxSendRetries.
 func (s *System) Notify(t *sim.Task, dst, size int) {
 	c := s.fab.Costs()
-	if dst == t.NodeID {
+	n := t.MemNode()
+	if dst == n {
 		t.Charge(sim.CatLocal, localCopyCost(size)+c.Notification/4)
 	} else {
 		now := t.Now()
 		var penalty sim.Time
-		for a := 0; a < fault.MaxSendRetries && s.inj.LoseNotify(t.NodeID, dst, a, now); a++ {
+		for a := 0; a < fault.MaxSendRetries && s.inj.LoseNotify(n, dst, a, now); a++ {
 			penalty += c.SendTime(size) + c.Notification + fault.Backoff(a)
 		}
-		t.Charge(sim.CatComm, s.fab.Send(t, t.NodeID, dst, size)+c.Notification+penalty)
+		t.Charge(sim.CatComm, s.fab.Send(t, n, dst, size)+c.Notification+penalty)
 	}
-	s.fab.Counters().Add(t.NodeID, stats.EvNotifications, 1)
+	s.fab.Counters().Add(n, stats.EvNotifications, 1)
 }
 
 // GrowRecover grows region id on node's NIC on behalf of thread t, riding

@@ -99,6 +99,16 @@ const (
 	KindSegDetect
 	// KindRehome redirects a lock/barrier manager off a detached node.
 	KindRehome
+	// KindCommMerge is the commutative protocol's batched reduction
+	// merge: one remote write to home Dst carrying every merged diff of
+	// the flush (data-plane; rides vmmc.RemoteWrite like KindWrite).
+	KindCommMerge
+	// KindDelegateReq ships a critical-section descriptor to the lock's
+	// delegation server Dst; Arg is the lock id.
+	KindDelegateReq
+	// KindDelegateDone returns a delegated critical section's completion
+	// from the server to the origin node Dst; Arg is the lock id.
+	KindDelegateDone
 
 	numKinds
 )
@@ -107,7 +117,7 @@ var kindNames = [numKinds]string{
 	"fetch", "write", "stream", "streamfetch", "notify", "migrate",
 	"lock1", "lockr", "lockr1", "grant", "probe", "barrier",
 	"cwait", "csignal", "cbcast", "admin", "attach", "tcreate",
-	"spawn", "segmig", "segdet", "rehome",
+	"spawn", "segmig", "segdet", "rehome", "merge", "delreq", "deldone",
 }
 
 // Register the plane's kind names with the profiler so SpanWire timeline
@@ -150,14 +160,15 @@ func IsWire(k trace.Kind) bool {
 
 // delegated reports whether the kind's cost comes from vmmc/san rather
 // than the flat schedule.
-func (k Kind) delegated() bool { return k <= KindMigrate }
+func (k Kind) delegated() bool { return k <= KindMigrate || k == KindCommMerge }
 
 // nominalSize is the modeled message size when the caller leaves Op.Size
-// zero: control messages are small; thread-control and migration messages
-// carry a descriptor.
+// zero: control messages are small; thread-control, migration and
+// critical-section-descriptor messages carry a descriptor.
 func (k Kind) nominalSize() int {
 	switch k {
-	case KindAttach, KindThreadCreate, KindSpawn, KindSegMigrate, KindRehome:
+	case KindAttach, KindThreadCreate, KindSpawn, KindSegMigrate, KindRehome,
+		KindDelegateReq, KindDelegateDone:
 		return 64
 	default:
 		return 16
@@ -239,7 +250,7 @@ func (p *Plane) trace(at sim.Time, node int, kind trace.Kind, arg uint64) {
 // for control-plane ops (0 for delegated data-plane ops, whose charge is
 // applied inside vmmc/san).
 func (p *Plane) Do(t *sim.Task, op Op) sim.Time {
-	op.Src = t.NodeID
+	op.Src = t.MemNode()
 	if op.Size == 0 {
 		op.Size = op.Kind.nominalSize()
 	}
@@ -267,7 +278,7 @@ func (p *Plane) doData(t *sim.Task, op Op) {
 		p.vm.Fetch(t, op.Dst, op.Size)
 		p.ctr.Add(op.Src, stats.EvPageMigrations, 1)
 		p.trace(t.Now(), op.Src, trace.KindMigrate, op.Arg)
-	case KindWrite:
+	case KindWrite, KindCommMerge:
 		p.vm.RemoteWrite(t, op.Dst, op.Size)
 	case KindStream:
 		p.vm.StreamWrite(t, op.Dst, op.Size)
@@ -357,7 +368,7 @@ func (p *Plane) flatCost(k Kind, size int) sim.Time {
 		return c.AttachComm
 	case KindThreadCreate:
 		return c.ThreadCreateComm
-	case KindSpawn, KindRehome:
+	case KindSpawn, KindRehome, KindDelegateReq, KindDelegateDone:
 		return c.SendTime(size)
 	case KindSegMigrate:
 		return c.SegMigrateComm
