@@ -4,9 +4,9 @@
 # without paying full benchmark time) + a profiler export smoke run.
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench hostperf docs profile-smoke mem-smoke serve-smoke
+.PHONY: check vet build test race bench-smoke bench hostperf docs profile-smoke mem-smoke serve-smoke metrics-smoke
 
-check: vet build test race bench-smoke docs profile-smoke mem-smoke serve-smoke
+check: vet build test race bench-smoke docs profile-smoke mem-smoke serve-smoke metrics-smoke
 
 # Documentation lint: package doc comments on every Go package, and every
 # relative markdown link must resolve (cmd/doccheck, stdlib only).
@@ -25,7 +25,7 @@ test:
 race:
 	$(GO) test -race ./internal/genima/... ./internal/memsys/... ./internal/core/... \
 		./internal/san/... ./internal/vmmc/... ./internal/nodeos/... ./internal/wire/... \
-		./internal/sim/...
+		./internal/sim/... ./internal/metrics/... ./internal/farm/...
 	$(GO) test -race -run 'TestFig5RaceSmoke|TestFig5RaceSmokeEventSched|TestFig5ContendedSyncRaceSmoke|TestFrameLeakBothSched' ./internal/bench/
 
 bench-smoke:
@@ -45,6 +45,14 @@ mem-smoke:
 # `go test ./...` stays fast.
 serve-smoke:
 	CABLES_SOAK=1 $(GO) test -count=1 -run TestServeSoak -v ./internal/farm/
+
+# Telemetry-plane smoke (docs/OBSERVABILITY.md §7): boot a real farm, run a
+# fault-plan sweep twice (miss then hit), scrape GET /metrics, and assert
+# the key families, the cache-hit counter, the fresh-only run histogram,
+# the sim-event bridge, and the readyz drain flip.  Gated behind
+# CABLES_METRICS_SMOKE=1 so plain `go test ./...` stays fast.
+metrics-smoke:
+	CABLES_METRICS_SMOKE=1 $(GO) test -count=1 -run TestMetricsSmoke -v ./internal/farm/
 
 # Profiler export smoke: run one profiled cell, export the Perfetto
 # timeline, and validate it (well-formed JSON, spans nest per thread).

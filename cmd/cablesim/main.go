@@ -16,7 +16,8 @@
 //	cablesim faults -plan <spec> [-seed N] [-profile] [-apps ...] [-procs ...]
 //	cablesim profile [-scale s] [-apps ...] [-procs ...] [-top N] [-o trace.json]
 //	cablesim serve [-addr :8080] [-jobs N] [-cache-entries N] [-max-queue N]
-//	cablesim all [-scale s]         # everything above (not hostperf/faults/serve)
+//	cablesim top [-addr :8080] [-interval 2s] [-n N]  # live farm view via /metrics
+//	cablesim all [-scale s]         # everything above (not hostperf/faults/serve/top)
 //
 // -scale is "test" (fast), "paper" (scaled evaluation sizes, default) or
 // "full" (the testbed's actual SPLASH-2 problem sizes; -full-size is a
@@ -70,13 +71,22 @@
 // are simulated exactly once.  -addr is the listen address, -cache-entries
 // bounds the LRU result cache, -max-queue bounds admitted-but-unstarted
 // cells; SIGTERM/SIGINT drain gracefully (in-flight cells complete, queued
-// cells are rejected with a retriable status).
+// cells are rejected with a retriable status).  The farm exposes a
+// Prometheus-format telemetry plane on GET /metrics plus a GET /readyz
+// probe that flips to 503 once a drain begins (docs/OBSERVABILITY.md §7),
+// and logs one structured record per request to stderr.
+// `top` is the terminal companion: it polls a running farm's /metrics at
+// -interval (against -addr) and prints qps, cell-latency p50/p95/p99,
+// cache-hit ratio, queue depth, pool utilization, and per-protocol cell
+// throughput — consuming only the standard exposition, nothing private.
+// -n bounds the refresh count (0 polls until interrupted).
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"sort"
@@ -118,7 +128,9 @@ func main() {
 	top := fs.Int("top", 5, "profile: rows shown in the hot-page/lock-contention/epoch tables")
 	planSpec := fs.String("plan", "", `faults: fault plan, e.g. "send:p=0.05;detach:node=1,at=5ms"`)
 	seed := fs.Uint64("seed", 1, "faults: deterministic injection seed")
-	addr := fs.String("addr", ":8080", "serve: HTTP listen address")
+	addr := fs.String("addr", ":8080", "serve: HTTP listen address; top: farm base URL or host:port")
+	interval := fs.Duration("interval", 2*time.Second, "top: poll interval")
+	iters := fs.Int("n", 0, "top: number of refreshes (0 = until interrupted)")
 	cacheEntries := fs.Int("cache-entries", 4096, "serve: content-addressed result cache bound (LRU entries)")
 	maxQueue := fs.Int("max-queue", 65536, "serve: max admitted-but-unstarted cells before 503")
 	contended := fs.Bool("contended-sync", false,
@@ -232,7 +244,9 @@ func main() {
 			}
 		}
 	case "serve":
-		srv := farm.New(farm.Config{Jobs: *jobs, CacheEntries: *cacheEntries, MaxQueue: *maxQueue})
+		logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+		srv := farm.New(farm.Config{Jobs: *jobs, CacheEntries: *cacheEntries, MaxQueue: *maxQueue,
+			Logger: logger})
 		hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 		drained := srv.DrainOnSignal(os.Interrupt, syscall.SIGTERM)
 		go func() {
@@ -252,6 +266,11 @@ func main() {
 		}
 		<-drained
 		fmt.Fprintln(w, "cablesim serve: drained")
+	case "top":
+		if err := runTop(w, *addr, *interval, *iters); err != nil {
+			fmt.Fprintf(os.Stderr, "cablesim: top: %v\n", err)
+			os.Exit(1)
+		}
 	case "faults":
 		if *planSpec == "" {
 			fmt.Fprintln(os.Stderr, "cablesim: faults needs -plan (see internal/fault for the spec language)")
@@ -407,12 +426,13 @@ func parseInts(s string) []int {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: cablesim <table3|counters|table4|table5|table6|fig5|fig6|fig5+6|protocols|limits|hostperf|faults|profile|serve|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: cablesim <table3|counters|table4|table5|table6|fig5|fig6|fig5+6|protocols|limits|hostperf|faults|profile|serve|top|all> [flags]
 flags: -scale test|paper|full (-full-size)  -apps A,B  -procs 1,4,8  -gran bytes  -jobs N  -o report.json  -compare old.json
        -trace -profile (counters)  -plan "send:p=0.05;detach:node=1,at=5ms" -seed N -profile (faults)
        -top N -o trace.json (profile: Perfetto/Chrome trace-viewer timeline)
        -contended-sync -coalesce (fig5/fig6/counters wire-plane modes)
        -sched goroutine|event (thread-manager backend; results identical, host speed differs)
        -protocol genima|commutative|delegate (coherence protocol; checksums identical, wire schedule differs)
-       -addr :8080 -cache-entries N -max-queue N (serve: the simulation farm, docs/SERVE.md)`)
+       -addr :8080 -cache-entries N -max-queue N (serve: the simulation farm, docs/SERVE.md)
+       -addr :8080 -interval 2s -n N (top: live farm view scraped from /metrics, docs/OBSERVABILITY.md)`)
 }

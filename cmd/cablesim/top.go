@@ -1,0 +1,159 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"cables/internal/metrics"
+)
+
+// runTop is `cablesim top`: a polling terminal view of a running farm,
+// driven purely by scraping GET /metrics — it consumes exactly the same
+// exposition any Prometheus collector would, so everything it displays is
+// observable by standard tooling too.  Each tick fetches a fresh scrape,
+// diffs it against the previous one for rates (qps, per-protocol cell
+// throughput), and reads gauges and histogram quantiles directly.
+// iterations == 0 polls until interrupted.
+func runTop(w io.Writer, baseURL string, interval time.Duration, iterations int) error {
+	baseURL = strings.TrimSuffix(baseURL, "/")
+	if !strings.Contains(baseURL, "://") {
+		baseURL = "http://" + baseURL
+	}
+	client := &http.Client{Timeout: interval}
+	var prev *metrics.Scrape
+	prevAt := time.Now()
+	for i := 0; iterations == 0 || i < iterations; i++ {
+		if i > 0 {
+			time.Sleep(interval)
+		}
+		cur, err := scrapeMetrics(client, baseURL)
+		if err != nil {
+			return fmt.Errorf("scrape %s/metrics: %w", baseURL, err)
+		}
+		now := time.Now()
+		fmt.Fprint(w, renderTop(prev, cur, now.Sub(prevAt).Seconds()))
+		prev, prevAt = cur, now
+	}
+	return nil
+}
+
+// scrapeMetrics fetches and parses one exposition.
+func scrapeMetrics(client *http.Client, baseURL string) (*metrics.Scrape, error) {
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return metrics.ParseText(resp.Body)
+}
+
+// renderTop renders one refresh of the top view.  prev is nil on the first
+// tick (rates print as "-"); dt is the wall-clock seconds since prev.
+func renderTop(prev, cur *metrics.Scrape, dt float64) string {
+	var b strings.Builder
+
+	queue, _ := cur.Value("cables_farm_queue_depth", nil)
+	running, _ := cur.Value("cables_farm_cells_running", nil)
+	workers, _ := cur.Value("cables_farm_pool_workers", nil)
+	util, _ := cur.Value("cables_farm_pool_utilization_percent", nil)
+	entries, _ := cur.Value("cables_farm_cache_entries", nil)
+	draining, _ := cur.Value("cables_farm_draining", nil)
+
+	state := "serving"
+	if draining > 0 {
+		state = "DRAINING"
+	}
+	fmt.Fprintf(&b, "cablesim top — %s  workers %.0f  running %.0f (%.0f%%)  queued %.0f  cache %.0f entries\n",
+		state, workers, running, util, queue, entries)
+
+	// Request and cell completion rates over the last interval.
+	fmt.Fprintf(&b, "  http qps %s   cells/s %s   hit ratio %s\n",
+		rate(prev, cur, dt, func(s *metrics.Scrape) float64 {
+			return sumAll(s, "cables_farm_http_request_seconds_count")
+		}),
+		rate(prev, cur, dt, func(s *metrics.Scrape) float64 {
+			return sumAll(s, "cables_farm_cells_terminal_total")
+		}),
+		hitRatio(cur))
+
+	// Cell latency quantiles from the cumulative run histogram.
+	p50, ok50 := cur.Quantile("cables_farm_cell_run_seconds", 0.50, nil)
+	p95, ok95 := cur.Quantile("cables_farm_cell_run_seconds", 0.95, nil)
+	p99, ok99 := cur.Quantile("cables_farm_cell_run_seconds", 0.99, nil)
+	qw, okqw := cur.Quantile("cables_farm_cell_queue_wait_seconds", 0.95, nil)
+	fmt.Fprintf(&b, "  cell latency p50 %s  p95 %s  p99 %s   queue-wait p95 %s\n",
+		durOrDash(p50, ok50), durOrDash(p95, ok95), durOrDash(p99, ok99), durOrDash(qw, okqw))
+
+	// Per-protocol throughput: completed fresh cells per second, from the
+	// run histogram's per-series counts.
+	byProto := cur.SumBy("cables_farm_cell_run_seconds_count", "protocol")
+	protos := make([]string, 0, len(byProto))
+	for p := range byProto {
+		protos = append(protos, p)
+	}
+	sort.Strings(protos)
+	if len(protos) > 0 {
+		b.WriteString("  per-protocol cells/s:")
+		for _, p := range protos {
+			name := p
+			if name == "" {
+				name = "default"
+			}
+			r := rate(prev, cur, dt, func(s *metrics.Scrape) float64 {
+				return s.SumBy("cables_farm_cell_run_seconds_count", "protocol")[p]
+			})
+			fmt.Fprintf(&b, "  %s %s", name, r)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// sumAll sums every sample of a family, across all label sets.
+func sumAll(s *metrics.Scrape, name string) float64 {
+	total := 0.0
+	for _, sm := range s.Samples {
+		if sm.Name == name {
+			total += sm.Value
+		}
+	}
+	return total
+}
+
+// rate formats (cur-prev)/dt for a counter read by fn, "-" without a prev.
+func rate(prev, cur *metrics.Scrape, dt float64, fn func(*metrics.Scrape) float64) string {
+	if prev == nil || dt <= 0 {
+		return "-"
+	}
+	d := fn(cur) - fn(prev)
+	if d < 0 {
+		d = 0 // the farm restarted between ticks
+	}
+	return fmt.Sprintf("%.1f", d/dt)
+}
+
+// hitRatio renders lifetime cache hits over all admissions.
+func hitRatio(s *metrics.Scrape) string {
+	by := s.SumBy("cables_farm_cache_requests_total", "outcome")
+	total := by["hit"] + by["miss"] + by["coalesced"]
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", by["hit"]/total*100)
+}
+
+// durOrDash renders a seconds value as a duration, "-" when absent.
+func durOrDash(v float64, ok bool) string {
+	if !ok {
+		return "-"
+	}
+	return time.Duration(v * float64(time.Second)).Round(10 * time.Microsecond).String()
+}

@@ -19,7 +19,10 @@
 //   - every HTTP route the simulation farm registers (internal/farm routes)
 //     must appear backquoted in a docs/SERVE.md table, and every farm stats
 //     key (internal/farm statsKeys) in a SERVE.md or OBSERVABILITY.md
-//     table, so the served API surface cannot drift from its reference.
+//     table, so the served API surface cannot drift from its reference;
+//   - every Prometheus metric family the farm registers (internal/farm
+//     familyNames) must appear backquoted in a docs/OBSERVABILITY.md table,
+//     so registering an instrument without documenting it fails CI.
 //
 // It walks the tree rooted at the optional -root flag (default ".") and
 // exits non-zero listing every violation, so CI can gate on it
@@ -92,6 +95,13 @@ func main() {
 		os.Exit(2)
 	}
 	problems = append(problems, protoProblems...)
+
+	metricProblems, err := checkMetricsDocs(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		os.Exit(2)
+	}
+	problems = append(problems, metricProblems...)
 
 	if len(problems) > 0 {
 		sort.Strings(problems)
@@ -498,6 +508,32 @@ func checkFarmDocs(root string) ([]string, error) {
 			problems = append(problems, fmt.Sprintf(
 				"%s: farm stats key %q (defined in internal/farm/stats.go) missing from the SERVE.md and OBSERVABILITY.md tables",
 				servePath, k))
+		}
+	}
+	return problems, nil
+}
+
+// checkMetricsDocs keeps the telemetry plane documented: every Prometheus
+// metric family the farm registers (internal/farm/metrics.go familyNames —
+// newMetrics and the farm tests pin the literal against the live registry)
+// must appear backquoted in a docs/OBSERVABILITY.md table, so a scraper
+// never meets a family the reference does not explain.
+func checkMetricsDocs(root string) ([]string, error) {
+	docPath := filepath.Join(root, "docs", "OBSERVABILITY.md")
+	documented, err := tableTokens(docPath)
+	if err != nil {
+		return nil, err
+	}
+	names, err := sliceLiteral(filepath.Join(root, "internal", "farm", "metrics.go"), "familyNames")
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, name := range names {
+		if !documented[name] {
+			problems = append(problems, fmt.Sprintf(
+				"%s: metric family %q (registered in internal/farm/metrics.go) missing from the farm metrics table",
+				docPath, name))
 		}
 	}
 	return problems, nil

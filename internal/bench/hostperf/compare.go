@@ -26,6 +26,24 @@ const maxProfileOverhead = 0.005
 // (Derived["protocol_dispatch_overhead"]), and must not allocate.
 const maxProtocolDispatchOverhead = 0.01
 
+// maxMetricsIncOverhead is the comparison gate on the telemetry plane's
+// hottest path: incrementing a labeled counter through a cached child
+// pointer may cost at most 0.1% of one flush operation — with the flush at
+// tens of microseconds, that holds the increment to a few tens of
+// nanoseconds — and must not allocate.
+const maxMetricsIncOverhead = 0.001
+
+// maxMetricsWithOverhead is the gate on the uncached pattern — resolving
+// the child by label values on every call, then incrementing.  The map
+// lookup makes it a handful of times slower than the cached path, but it
+// must stay under 0.5% of a flush (and allocation-free).
+const maxMetricsWithOverhead = 0.005
+
+// maxMetricsScrapeOverhead is the comparison gate on one full /metrics
+// text exposition of a farm-shaped registry: reader-paid, so merely
+// bounded — at most 2× one flush operation.
+const maxMetricsScrapeOverhead = 2.0
+
 // minSchedSpeedup is the comparison gate on the event scheduler backend:
 // fig5-small at jobs=NumCPU must run at least this much faster under
 // sched/event than under sched/goroutine (Derived["fig5_small_speedup_sched"]).
@@ -103,6 +121,23 @@ func Compare(w io.Writer, old, cur Report) error {
 	}
 	if n, ok := cur.Derived["protocol_dispatch_allocs_per_op"]; ok && n > 0 {
 		return fmt.Errorf("protocol/dispatch allocates (%.0f allocs/op): the genima fast path must stay allocation-free", n)
+	}
+	if ov, ok := cur.Derived["metrics_inc_overhead"]; ok && ov > maxMetricsIncOverhead {
+		return fmt.Errorf("metrics_inc_overhead %.5f exceeds the %.1f%% gate: the telemetry instrument hot path is no longer a padded atomic add",
+			ov, maxMetricsIncOverhead*100)
+	}
+	if ov, ok := cur.Derived["metrics_with_overhead"]; ok && ov > maxMetricsWithOverhead {
+		return fmt.Errorf("metrics_with_overhead %.5f exceeds the %.1f%% gate: label resolution is no longer an allocation-free map lookup",
+			ov, maxMetricsWithOverhead*100)
+	}
+	for _, key := range []string{"metrics_inc_allocs_per_op", "metrics_with_allocs_per_op", "metrics_observe_allocs_per_op"} {
+		if n, ok := cur.Derived[key]; ok && n > 0 {
+			return fmt.Errorf("%s is %.0f: telemetry instruments must stay allocation-free on the hot path", key, n)
+		}
+	}
+	if ov, ok := cur.Derived["metrics_scrape_overhead"]; ok && ov > maxMetricsScrapeOverhead {
+		return fmt.Errorf("metrics_scrape_overhead %.2f exceeds the %.0fx-flush gate: one /metrics exposition has grown too expensive",
+			ov, maxMetricsScrapeOverhead)
 	}
 	if sp, ok := cur.Derived["fig5_small_speedup_sched"]; ok && cur.GOMAXPROCS >= 2 && sp < minSchedSpeedup {
 		return fmt.Errorf("fig5_small_speedup_sched %.2f below the %.1fx gate: the event scheduler no longer beats free-running goroutines on a %d-way host",

@@ -57,6 +57,10 @@ func Cases() []Case {
 		{"wire/do", WireDo},
 		{"wire/direct", WireDirect},
 		{"protocol/dispatch", ProtocolDispatch},
+		{"metrics/inc", MetricsInc},
+		{"metrics/with", MetricsWith},
+		{"metrics/observe", MetricsObserve},
+		{"metrics/scrape", MetricsScrape},
 		{"profile/detached", ProfileDetached},
 		{"profile/attached", ProfileAttached},
 		{"e2e/fft", E2EFFT},
@@ -424,6 +428,17 @@ func Run() Report {
 		rep.Derived["protocol_dispatch_overhead"] = rep.Benchmarks["protocol/dispatch"].NsPerOp / fl
 	}
 	rep.Derived["protocol_dispatch_allocs_per_op"] = float64(rep.Benchmarks["protocol/dispatch"].AllocsPerOp)
+	// Telemetry-plane costs: the instrument hot paths must be free (ratios
+	// against the flush yardstick, gated well under 1%) and allocation-free;
+	// the scrape is reader-paid and merely bounded.
+	if fl := rep.Benchmarks["flush"].NsPerOp; fl > 0 {
+		rep.Derived["metrics_inc_overhead"] = rep.Benchmarks["metrics/inc"].NsPerOp / fl
+		rep.Derived["metrics_with_overhead"] = rep.Benchmarks["metrics/with"].NsPerOp / fl
+		rep.Derived["metrics_scrape_overhead"] = rep.Benchmarks["metrics/scrape"].NsPerOp / fl
+	}
+	rep.Derived["metrics_inc_allocs_per_op"] = float64(rep.Benchmarks["metrics/inc"].AllocsPerOp)
+	rep.Derived["metrics_with_allocs_per_op"] = float64(rep.Benchmarks["metrics/with"].AllocsPerOp)
+	rep.Derived["metrics_observe_allocs_per_op"] = float64(rep.Benchmarks["metrics/observe"].AllocsPerOp)
 	rep.Derived["flush_allocs_per_op"] = float64(rep.Benchmarks["flush"].AllocsPerOp)
 	rep.Derived["flush_bytes_per_op"] = float64(rep.Benchmarks["flush"].BytesPerOp)
 	rep.Derived["acquire_allocs_per_op"] = float64(rep.Benchmarks["acquire"].AllocsPerOp)

@@ -1,0 +1,96 @@
+package hostperf
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"cables/internal/metrics"
+)
+
+// --- Telemetry-plane benchmarks ---
+//
+// The farm increments labeled counters and observes histograms on every
+// admitted cell and HTTP request, so the instrument hot path must cost a
+// few nanoseconds and never allocate (internal/metrics package doc).  Three
+// cases price the plane:
+//
+//   - metrics/inc: increment through a cached child pointer — the pattern
+//     hot call sites use (the farm's Stats handles).
+//   - metrics/with: resolve the child by label values on every op, then
+//     increment — the pattern incidental call sites use.  The fixed-size
+//     array key keeps even this allocation-free.
+//   - metrics/scrape: render a farm-shaped registry to text — the cost one
+//     GET /metrics poll imposes on the host, paid by the reader.
+
+// benchRegistry builds a registry shaped like the farm's: a handful of
+// plain counters and gauges, labeled counter families with a few children
+// each, and labeled latency histograms with populated series.
+func benchRegistry() (*metrics.Registry, *metrics.CounterVec, *metrics.HistogramVec) {
+	r := metrics.NewRegistry()
+	for i := 0; i < 6; i++ {
+		r.Counter(fmt.Sprintf("bench_plain_%d_total", i), "plain counter").Add(int64(i))
+		r.Gauge(fmt.Sprintf("bench_gauge_%d", i), "gauge").Set(int64(i))
+	}
+	cv := r.CounterVec("bench_cells_total", "labeled counter", "app", "backend", "outcome")
+	hv := r.HistogramVec("bench_run_seconds", "labeled histogram", nil,
+		"app", "backend", "outcome")
+	for _, app := range []string{"FFT", "LU", "OCEAN", "BARNES"} {
+		for _, backend := range []string{"genima", "cables"} {
+			cv.With(app, backend, "done").Add(100)
+			h := hv.With(app, backend, "done")
+			for i := 0; i < 32; i++ {
+				h.Observe(float64(i) / 10)
+			}
+		}
+	}
+	return r, cv, hv
+}
+
+// MetricsInc measures one labeled-counter increment through a cached child
+// pointer — the per-cell hot path.  Gated at zero allocations.
+func MetricsInc(b *testing.B) {
+	_, cv, _ := benchRegistry()
+	c := cv.With("FFT", "genima", "done")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// MetricsWith measures label resolution plus increment on every op — the
+// uncached pattern.  The array-keyed child map keeps it allocation-free.
+func MetricsWith(b *testing.B) {
+	_, cv, _ := benchRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cv.With("FFT", "genima", "done").Inc()
+	}
+}
+
+// MetricsObserve measures one histogram observation through a cached child:
+// bucket scan, two atomic adds, and the float-sum CAS.
+func MetricsObserve(b *testing.B) {
+	_, _, hv := benchRegistry()
+	h := hv.With("FFT", "genima", "done")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.042)
+	}
+}
+
+// MetricsScrape measures one full text exposition of the farm-shaped
+// registry — what each GET /metrics poll costs the host.
+func MetricsScrape(b *testing.B) {
+	r, _, _ := benchRegistry()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package hostperf
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestCompareGatesMetrics: the telemetry-plane gates — a report whose
+// cached-increment or With-per-call cost exceeds its flush-relative bound,
+// whose instruments allocate, or whose scrape grows past the 2×-flush
+// bound, makes Compare return an error.
+func TestCompareGatesMetrics(t *testing.T) {
+	old := Report{Benchmarks: map[string]Metric{}, Derived: map[string]float64{}}
+	ok := Report{Benchmarks: map[string]Metric{}, Derived: map[string]float64{
+		"metrics_inc_overhead":          0.0002,
+		"metrics_with_overhead":         0.002,
+		"metrics_scrape_overhead":       1.5,
+		"metrics_inc_allocs_per_op":     0,
+		"metrics_with_allocs_per_op":    0,
+		"metrics_observe_allocs_per_op": 0,
+	}}
+	var buf bytes.Buffer
+	if err := Compare(&buf, old, ok); err != nil {
+		t.Fatalf("costs under the gates rejected: %v", err)
+	}
+	for name, bad := range map[string]map[string]float64{
+		"slow inc":          {"metrics_inc_overhead": 0.01},
+		"slow with":         {"metrics_with_overhead": 0.02},
+		"slow scrape":       {"metrics_scrape_overhead": 5},
+		"allocating inc":    {"metrics_inc_allocs_per_op": 1},
+		"allocating with":   {"metrics_with_allocs_per_op": 2},
+		"allocating histog": {"metrics_observe_allocs_per_op": 1},
+	} {
+		cur := Report{Benchmarks: map[string]Metric{}, Derived: bad}
+		if err := Compare(&buf, old, cur); err == nil {
+			t.Errorf("%s passed the telemetry gates", name)
+		}
+	}
+}
+
+// TestMetricsOverheadSmall runs the telemetry benchmarks against the flush
+// yardstick on this host: the instrument hot paths must stay within their
+// flush-relative bounds and allocation-free, and one scrape of a
+// farm-shaped registry must stay bounded.
+func TestMetricsOverheadSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmarks under -short")
+	}
+	rep := Report{Benchmarks: map[string]Metric{}, Derived: map[string]float64{}}
+	for _, c := range Cases() {
+		switch c.Name {
+		case "flush", "metrics/inc", "metrics/with", "metrics/observe", "metrics/scrape":
+			r := testing.Benchmark(c.Fn)
+			rep.Benchmarks[c.Name] = Metric{
+				NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp(), N: r.N}
+		}
+	}
+	fl := rep.Benchmarks["flush"].NsPerOp
+	if ov := rep.Benchmarks["metrics/inc"].NsPerOp / fl; ov > maxMetricsIncOverhead {
+		t.Errorf("metrics/inc overhead %.5f exceeds the %.3f gate (inc %.1fns, flush %.1fns)",
+			ov, maxMetricsIncOverhead, rep.Benchmarks["metrics/inc"].NsPerOp, fl)
+	}
+	if ov := rep.Benchmarks["metrics/with"].NsPerOp / fl; ov > maxMetricsWithOverhead {
+		t.Errorf("metrics/with overhead %.5f exceeds the %.3f gate (with %.1fns, flush %.1fns)",
+			ov, maxMetricsWithOverhead, rep.Benchmarks["metrics/with"].NsPerOp, fl)
+	}
+	if ov := rep.Benchmarks["metrics/scrape"].NsPerOp / fl; ov > maxMetricsScrapeOverhead {
+		t.Errorf("metrics/scrape overhead %.2f exceeds the %.0fx gate (scrape %.1fns, flush %.1fns)",
+			ov, maxMetricsScrapeOverhead, rep.Benchmarks["metrics/scrape"].NsPerOp, fl)
+	}
+	for _, name := range []string{"metrics/inc", "metrics/with", "metrics/observe"} {
+		if n := rep.Benchmarks[name].AllocsPerOp; n != 0 {
+			t.Errorf("%s allocates: %d allocs/op", name, n)
+		}
+	}
+}

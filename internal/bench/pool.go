@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // DefaultJobs is the harness's default worker count: one per host processor.
@@ -48,13 +49,22 @@ var ErrPoolDraining = errors.New("bench: pool is draining")
 // SIGTERM path relies on (queued cells are handed back to be rejected with
 // a retriable status, not silently dropped).
 type Pool struct {
-	mu       sync.Mutex
-	cond     *sync.Cond
-	queue    []func()
-	running  int
-	draining bool
-	observer func(queued, running int)
-	workers  sync.WaitGroup
+	mu          sync.Mutex
+	cond        *sync.Cond
+	queue       []poolJob
+	running     int
+	width       int
+	draining    bool
+	observer    func(queued, running int)
+	jobObserver func(wait, run time.Duration)
+	workers     sync.WaitGroup
+}
+
+// poolJob is one queued job with its enqueue time, so the worker that picks
+// it up can report the queue wait to the job observer.
+type poolJob struct {
+	fn func()
+	at time.Time
 }
 
 // NewPool starts a pool of the given number of workers (at least 1).
@@ -62,7 +72,7 @@ func NewPool(workers int) *Pool {
 	if workers < 1 {
 		workers = 1
 	}
-	p := &Pool{}
+	p := &Pool{width: workers}
 	p.cond = sync.NewCond(&p.mu)
 	p.workers.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -70,6 +80,9 @@ func NewPool(workers int) *Pool {
 	}
 	return p
 }
+
+// Workers returns the pool's width — the worker count it was created with.
+func (p *Pool) Workers() int { return p.width }
 
 // SetObserver registers fn to be called with the pool's (queued, running)
 // depths after every state transition — submit, job start, job completion,
@@ -79,6 +92,17 @@ func NewPool(workers int) *Pool {
 func (p *Pool) SetObserver(fn func(queued, running int)) {
 	p.mu.Lock()
 	p.observer = fn
+	p.mu.Unlock()
+}
+
+// SetJobObserver registers fn to be called once per completed job with the
+// time the job spent queued (enqueue to worker pickup) and running (pickup
+// to completion).  fn runs on the worker goroutine outside the pool's
+// mutex, after the completion transition — the farm feeds its queue-wait
+// and run-latency histograms from it.
+func (p *Pool) SetJobObserver(fn func(wait, run time.Duration)) {
+	p.mu.Lock()
+	p.jobObserver = fn
 	p.mu.Unlock()
 }
 
@@ -98,7 +122,7 @@ func (p *Pool) Submit(fn func()) error {
 	if p.draining {
 		return ErrPoolDraining
 	}
-	p.queue = append(p.queue, fn)
+	p.queue = append(p.queue, poolJob{fn: fn, at: time.Now()})
 	p.notifyLocked()
 	return nil
 }
@@ -132,7 +156,10 @@ func (p *Pool) Drain() []func() {
 		return nil
 	}
 	p.draining = true
-	left := p.queue
+	left := make([]func(), len(p.queue))
+	for i, j := range p.queue {
+		left[i] = j.fn
+	}
 	p.queue = nil
 	p.notifyLocked()
 	p.mu.Unlock()
@@ -153,18 +180,25 @@ func (p *Pool) worker() {
 			p.mu.Unlock()
 			return
 		}
-		fn := p.queue[0]
+		job := p.queue[0]
 		p.queue = p.queue[1:]
 		p.running++
+		wait := time.Since(job.at)
 		p.notifyLocked()
 		p.mu.Unlock()
 		// The submitter's wrapper records errors; Isolate here only keeps a
 		// stray panic from killing the worker itself.
-		_ = Isolate(fn)
+		start := time.Now()
+		_ = Isolate(job.fn)
+		run := time.Since(start)
 		p.mu.Lock()
 		p.running--
+		obs := p.jobObserver
 		p.notifyLocked()
 		p.mu.Unlock()
+		if obs != nil {
+			obs(wait, run)
+		}
 	}
 }
 

@@ -103,6 +103,56 @@ func TestPoolObserver(t *testing.T) {
 	}
 }
 
+// TestPoolJobObserver: the per-job observer fires once per completed job
+// with a plausible (wait, run) pair — the run at least as long as the
+// job's sleep, and a job queued behind a busy worker charged its wait.
+func TestPoolJobObserver(t *testing.T) {
+	p := NewPool(1)
+	defer p.Drain()
+	if w := p.Workers(); w != 1 {
+		t.Fatalf("Workers() = %d, want 1", w)
+	}
+	type sample struct{ wait, run time.Duration }
+	var mu sync.Mutex
+	var got []sample
+	p.SetJobObserver(func(wait, run time.Duration) {
+		mu.Lock()
+		got = append(got, sample{wait, run})
+		mu.Unlock()
+	})
+	const hold = 20 * time.Millisecond
+	p.Submit(func() { time.Sleep(hold) })
+	p.Submit(func() {}) // queued behind the first on the single worker
+	p.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("job observer fired %d times, want 2", len(got))
+	}
+	if got[0].run < hold {
+		t.Errorf("first job run %v, want >= %v", got[0].run, hold)
+	}
+	if got[1].wait < hold/2 {
+		t.Errorf("second job wait %v, want >= %v (it was queued behind the %v hold)",
+			got[1].wait, hold/2, hold)
+	}
+}
+
+// TestNewPoolClampsWidth: NewPool(0) still runs jobs on one worker.
+func TestNewPoolClampsWidth(t *testing.T) {
+	p := NewPool(0)
+	defer p.Drain()
+	if w := p.Workers(); w != 1 {
+		t.Errorf("Workers() after NewPool(0) = %d, want 1", w)
+	}
+	var ran atomic.Bool
+	p.Submit(func() { ran.Store(true) })
+	p.Wait()
+	if !ran.Load() {
+		t.Error("job did not run on the clamped pool")
+	}
+}
+
 // TestIsolateRecoversPanics: Isolate converts a panic into an error and a
 // clean return into nil.
 func TestIsolateRecoversPanics(t *testing.T) {

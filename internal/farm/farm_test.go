@@ -307,6 +307,8 @@ func TestRouteSurface(t *testing.T) {
 
 	for path, want := range map[string]int{
 		"/healthz":                        http.StatusOK,
+		"/readyz":                         http.StatusOK,
+		"/metrics":                        http.StatusOK,
 		"/v1/stats":                       http.StatusOK,
 		"/v1/sweeps":                      http.StatusOK,
 		"/v1/sweeps/" + sv.ID:             http.StatusOK,
@@ -389,7 +391,7 @@ func TestRouteLiteralMatchesHandler(t *testing.T) {
 	if srv.Handler() == nil {
 		t.Fatal("Handler returned nil")
 	}
-	if len(routes) != 7 {
+	if len(routes) != 9 {
 		t.Errorf("routes literal has %d entries; update docs/SERVE.md and this pin together", len(routes))
 	}
 }

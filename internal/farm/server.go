@@ -3,11 +3,14 @@ package farm
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cables/internal/bench"
@@ -28,6 +31,10 @@ type Config struct {
 	// would push the queue past it is refused with a retriable 503
 	// (default 65536).
 	MaxQueue int
+	// Logger receives one structured record per handled HTTP request
+	// (request id, method, route, status, duration) plus sweep-lifecycle
+	// records.  nil discards — tests and embedded pools stay silent.
+	Logger *slog.Logger
 }
 
 // routes lists every registered HTTP route as string literals.  Handler
@@ -36,6 +43,8 @@ type Config struct {
 // fails CI.
 var routes = []string{
 	"GET /healthz",
+	"GET /readyz",
+	"GET /metrics",
 	"GET /v1/stats",
 	"POST /v1/sweeps",
 	"GET /v1/sweeps",
@@ -57,10 +66,13 @@ const (
 // cache, the sweep registry, and the drain state machine.  Create with New,
 // mount Handler on an http.Server, call Drain (or DrainOnSignal) to stop.
 type Server struct {
-	cfg   Config
-	pool  *bench.Pool
-	cache *Cache
-	stats Stats
+	cfg     Config
+	pool    *bench.Pool
+	cache   *Cache
+	metrics *Metrics
+	stats   *Stats // legacy handles into s.metrics' registry
+	logger  *slog.Logger
+	reqID   atomic.Int64
 
 	mu       sync.Mutex
 	sweeps   map[string]*sweep
@@ -125,21 +137,38 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg,
 		pool:     bench.NewPool(cfg.Jobs),
+		metrics:  newMetrics(),
+		logger:   cfg.Logger,
 		sweeps:   make(map[string]*sweep),
 		inflight: make(map[string]*flight),
 		drained:  make(chan struct{}),
 		runCell:  runCellSim,
 	}
+	if s.logger == nil {
+		s.logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s.stats = &s.metrics.stats
 	s.cache = NewCache(cfg.CacheEntries, func() { s.stats.CacheEvicted.Add(1) })
+	workers := s.pool.Workers()
+	s.metrics.poolWorkers.Set(int64(workers))
 	s.pool.SetObserver(func(queued, running int) {
-		s.stats.QueueDepth.Store(int64(queued))
-		s.stats.CellsRunning.Store(int64(running))
+		s.stats.QueueDepth.Set(int64(queued))
+		s.stats.CellsRunning.Set(int64(running))
+		s.metrics.poolUtil.Set(int64(running * 100 / workers))
+	})
+	s.pool.SetJobObserver(func(wait, run time.Duration) {
+		s.metrics.queueWait.Observe(wait.Seconds())
 	})
 	return s
 }
 
-// Stats exposes the service counters (tests and the CLI read them).
-func (s *Server) Stats() *Stats { return &s.stats }
+// Stats exposes the service counters (tests and the CLI read them).  The
+// handles alias the same registry instruments `GET /metrics` renders.
+func (s *Server) Stats() *Stats { return s.stats }
+
+// Metrics exposes the server's metrics registry (hostperf benchmarks the
+// scrape path through it).
+func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // StatsSnapshot is the /v1/stats payload: every Stats key plus the cache's
 // current entry count.
@@ -168,6 +197,8 @@ func (s *Server) Drain() {
 	}
 	s.draining = true
 	s.mu.Unlock()
+	s.metrics.draining.Set(1)
+	s.logger.Info("drain started")
 
 	// Wait for in-flight simulations; their completion paths take s.mu, so
 	// the lock must be free here.  Queued-but-unstarted jobs come back
@@ -188,6 +219,7 @@ func (s *Server) Drain() {
 	}
 	close(s.drained)
 	s.mu.Unlock()
+	s.logger.Info("drain complete")
 }
 
 // DrainOnSignal registers the given signals (default SIGINT+SIGTERM via the
@@ -208,10 +240,14 @@ func (s *Server) DrainOnSignal(sigs ...os.Signal) <-chan struct{} {
 }
 
 // Handler returns the farm's HTTP API, registering exactly the routes
-// listed in the routes literal.
+// listed in the routes literal.  Every route is wrapped in the telemetry
+// middleware: one cables_farm_http_request_seconds sample and one
+// structured log record per request.
 func (s *Server) Handler() http.Handler {
 	handlers := map[string]http.HandlerFunc{
 		"GET /healthz":               s.handleHealth,
+		"GET /readyz":                s.handleReady,
+		"GET /metrics":               s.handleMetrics,
 		"GET /v1/stats":              s.handleStats,
 		"POST /v1/sweeps":            s.handleSubmit,
 		"GET /v1/sweeps":             s.handleList,
@@ -225,9 +261,48 @@ func (s *Server) Handler() http.Handler {
 		if !ok {
 			panic("farm: route " + r + " has no handler")
 		}
-		mux.HandleFunc(r, h)
+		mux.HandleFunc(r, s.withTelemetry(r, h))
 	}
 	return mux
+}
+
+// statusWriter records the response status for the telemetry middleware.
+// It forwards Flush so the stream endpoint keeps its SSE semantics through
+// the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withTelemetry wraps one route's handler: assign a request id (echoed as
+// X-Request-Id), time the request, record the latency histogram sample
+// under the route pattern and status code, and emit one structured log
+// record.  The request id is per-process monotonic — enough to correlate a
+// log line with a client-observed response.
+func (s *Server) withTelemetry(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("r%08d", s.reqID.Add(1))
+		w.Header().Set("X-Request-Id", id)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		dur := time.Since(start)
+		s.metrics.observeRequest(route, sw.code, dur.Seconds())
+		s.logger.Info("request",
+			"id", id, "method", r.Method, "path", r.URL.Path,
+			"route", route, "status", sw.code, "durUS", dur.Microseconds())
+	}
 }
 
 // runCellSim executes one cell for real: it rebuilds the injector from the
@@ -348,6 +423,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	body := s.sweepViewLocked(sw)
 	s.mu.Unlock()
 
+	s.logger.Info("sweep accepted",
+		"sweep", sw.id, "cells", len(cells),
+		"cached", body.Counts["cached"], "kind", spec.Kind)
 	writeJSON(w, http.StatusAccepted, body)
 }
 
@@ -369,6 +447,12 @@ func (s *Server) runFlight(f *flight) {
 	res.Key = f.hash
 	res.Canonical = f.key.Canonical()
 	res.HostNS = time.Since(start).Nanoseconds()
+	// Fresh completions (and only fresh completions — cache hits and
+	// coalesced subscribers share this one execution) feed the run-latency
+	// histogram and fold the cell's virtual-time counters into the fleet
+	// aggregates.
+	s.metrics.observeCell(f.key, terminalStatus(res),
+		float64(res.HostNS)/1e9, res.Counters)
 
 	s.mu.Lock()
 	s.cache.Put(f.hash, res)
@@ -419,8 +503,12 @@ func (s *Server) appendCellEvent(ref *cellRef) {
 
 // ---- JSON views ----
 
-// cellView is the wire form of one sweep cell.
+// cellView is the wire form of one sweep cell.  Sweep carries the owning
+// sweep's id so every SSE/NDJSON progress event is self-identifying — a
+// client multiplexing several streams can attribute each event without
+// tracking which connection it arrived on.
 type cellView struct {
+	Sweep     string      `json:"sweep"`
 	Key       string      `json:"key"`
 	App       string      `json:"app"`
 	Procs     int         `json:"procs"`
@@ -452,7 +540,8 @@ type sweepSummary struct {
 // snapshot, other kinds serve the result without it.  Callers hold s.mu.
 func (s *Server) cellViewLocked(ref *cellRef) cellView {
 	v := cellView{
-		Key: ref.hash, App: ref.key.App, Procs: ref.key.Procs, Backend: ref.key.Backend,
+		Sweep: ref.sw.id,
+		Key:   ref.hash, App: ref.key.App, Procs: ref.key.Procs, Backend: ref.key.Backend,
 		Status: ref.status, Cached: ref.cached, Retriable: ref.retriable,
 	}
 	if ref.res != nil {
@@ -506,6 +595,34 @@ func (s *Server) sweepViewLocked(sw *sweep) sweepView {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "draining": s.Draining()})
+}
+
+// handleReady is the readiness probe: 200 while the farm accepts sweeps,
+// 503 (with Retry-After, like every retriable refusal) once a drain has
+// begun — so a load balancer stops routing to a draining instance while
+// /healthz keeps reporting the process alive.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining", true)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+}
+
+// handleMetrics serves the Prometheus text exposition.  Point-in-time
+// gauges that have no event to hang off (cache residency, drain state) are
+// refreshed here, at scrape time; everything else is maintained by the hot
+// paths.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.cacheEntries.Set(int64(s.cache.Len()))
+	if s.Draining() {
+		s.metrics.draining.Set(1)
+	} else {
+		s.metrics.draining.Set(0)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = s.metrics.reg.WritePrometheus(w)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

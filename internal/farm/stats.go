@@ -1,16 +1,21 @@
 package farm
 
-import "sync/atomic"
+import "cables/internal/metrics"
 
-// Stats are the farm's own service counters — host-side bookkeeping of what
-// the service did, entirely separate from the simulated runs' virtual-time
-// counters (internal/stats).  Snapshot keys are listed in statsKeys;
-// cmd/doccheck requires every key to appear in a docs/SERVE.md or
-// docs/OBSERVABILITY.md table, so the inventory cannot drift.
+// Stats is the legacy /v1/stats view of the farm's service counters: named
+// handles onto instruments that live in the server's metrics registry
+// (metrics.go), so `/v1/stats` and `GET /metrics` read the very same atomic
+// words and can never disagree.  Each handle is the pre-resolved child of
+// its labeled family (CacheHits is cables_farm_cache_requests_total
+// {outcome="hit"}, CellsDone is cables_farm_cells_terminal_total
+// {outcome="done"}, ...), resolved once at registry construction per the
+// hot-path discipline.  Snapshot keys are listed in statsKeys; cmd/doccheck
+// requires every key to appear in a docs/SERVE.md or docs/OBSERVABILITY.md
+// table, so the inventory cannot drift.
 //
 // Admission accounting: every cell of every accepted sweep increments
-// exactly one of cacheHits (served from the warm cache), cellsCoalesced
-// (joined an identical cell already queued or running) or cacheMisses (a
+// exactly one of CacheHits (served from the warm cache), CellsCoalesced
+// (joined an identical cell already queued or running) or CacheMisses (a
 // fresh simulation was enqueued), so
 //
 //	cellsQueued == cacheHits + cellsCoalesced + cacheMisses
@@ -20,20 +25,20 @@ import "sync/atomic"
 //
 //	cellsQueued == cellsDone + cellsFailed + cellsRejected
 type Stats struct {
-	Sweeps         atomic.Int64 // sweeps accepted by POST /v1/sweeps
-	SweepsRejected atomic.Int64 // sweeps refused (draining or queue full)
-	CellsQueued    atomic.Int64 // cells admitted across all accepted sweeps
-	CacheHits      atomic.Int64 // cells served from the warm result cache
-	CacheMisses    atomic.Int64 // cells that enqueued a fresh simulation
-	CellsCoalesced atomic.Int64 // cells that joined an in-flight identical cell
-	CellsDone      atomic.Int64 // cells that reached status done
-	CellsFailed    atomic.Int64 // cells whose simulation failed
-	CellsRejected  atomic.Int64 // queued cells rejected retriable by a drain
-	CacheEvicted   atomic.Int64 // cache entries evicted by the LRU bound
+	Sweeps         *metrics.Counter // sweeps accepted by POST /v1/sweeps
+	SweepsRejected *metrics.Counter // sweeps refused (draining or queue full)
+	CellsQueued    *metrics.Counter // cells admitted across all accepted sweeps
+	CacheHits      *metrics.Counter // cells served from the warm result cache
+	CacheMisses    *metrics.Counter // cells that enqueued a fresh simulation
+	CellsCoalesced *metrics.Counter // cells that joined an in-flight identical cell
+	CellsDone      *metrics.Counter // cells that reached status done
+	CellsFailed    *metrics.Counter // cells whose simulation failed
+	CellsRejected  *metrics.Counter // queued cells rejected retriable by a drain
+	CacheEvicted   *metrics.Counter // cache entries evicted by the LRU bound
 
 	// Gauges (current values, not monotonic).
-	QueueDepth   atomic.Int64 // simulations queued behind the worker pool
-	CellsRunning atomic.Int64 // simulations executing right now
+	QueueDepth   *metrics.Gauge // simulations queued behind the worker pool
+	CellsRunning *metrics.Gauge // simulations executing right now
 }
 
 // statsKeys lists every Snapshot key as string literals: cmd/doccheck
@@ -49,7 +54,9 @@ var statsKeys = []string{
 }
 
 // Snapshot returns the counters and gauges as a name->value map (the
-// /v1/stats payload, minus the server-level cacheEntries gauge).
+// /v1/stats payload, minus the server-level cacheEntries gauge).  The
+// values are read straight from the registry instruments, so the snapshot
+// is derived from — and stays aliased to — what /metrics exposes.
 func (s *Stats) Snapshot() map[string]int64 {
 	return map[string]int64{
 		"sweeps":         s.Sweeps.Load(),

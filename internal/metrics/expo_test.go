@@ -1,0 +1,275 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// validateExposition is a strict line-oriented validator of the Prometheus
+// text format, independent of the package's own parser: every family must
+// open with a `# HELP` then a `# TYPE` line, every sample must belong to the
+// most recent family, label values must stay correctly quoted/escaped, and
+// each histogram series must have cumulative buckets ending in a `+Inf`
+// bucket equal to its `_count`.  It returns the per-family sample counts so
+// callers can assert coverage.
+func validateExposition(t *testing.T, text string) map[string]int {
+	t.Helper()
+	var (
+		sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^{}]*)\})? (-?[0-9.e+-]+|[+-]Inf|NaN)$`)
+		labelRe  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\\\|\\"|\\n)*)"$`)
+	)
+	type histSeries struct {
+		lastCum  float64
+		infCum   float64
+		haveInf  bool
+		count    float64
+		haveCnt  bool
+		haveSum  bool
+		lastName string
+	}
+
+	counts := map[string]int{}
+	helped := map[string]bool{}
+	typed := map[string]Kind{}
+	curFamily := ""
+	hists := map[string]*histSeries{} // series key -> running state
+
+	for n, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		lineNo := n + 1
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			name := rest[0]
+			if helped[name] {
+				t.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+			}
+			helped[name] = true
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(rest) != 2 {
+				t.Fatalf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			name, kind := rest[0], Kind(rest[1])
+			if !helped[name] {
+				t.Errorf("line %d: TYPE for %s before its HELP", lineNo, name)
+			}
+			if _, dup := typed[name]; dup {
+				t.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			if kind != KindCounter && kind != KindGauge && kind != KindHistogram {
+				t.Errorf("line %d: unknown kind %q", lineNo, kind)
+			}
+			typed[name] = kind
+			curFamily = name
+		case strings.HasPrefix(line, "#"):
+			// free-form comment: legal
+		default:
+			m := sampleRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed sample %q", lineNo, line)
+			}
+			name, labelBlock, valueStr := m[1], m[3], m[4]
+			fam := name
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if typed[curFamily] == KindHistogram && name == curFamily+suffix {
+					fam = curFamily
+				}
+			}
+			if fam != curFamily {
+				t.Errorf("line %d: sample %s outside its family block (current %s)", lineNo, name, curFamily)
+			}
+			kind, ok := typed[fam]
+			if !ok {
+				t.Errorf("line %d: sample %s has no TYPE header", lineNo, name)
+			}
+			counts[fam]++
+
+			labels := map[string]string{}
+			if labelBlock != "" {
+				for _, pair := range splitLabelPairs(t, lineNo, labelBlock) {
+					lm := labelRe.FindStringSubmatch(pair)
+					if lm == nil {
+						t.Fatalf("line %d: malformed label pair %q", lineNo, pair)
+					}
+					if _, dup := labels[lm[1]]; dup {
+						t.Errorf("line %d: duplicate label %s", lineNo, lm[1])
+					}
+					labels[lm[1]] = lm[2]
+				}
+			}
+			value, err := strconv.ParseFloat(strings.Replace(strings.Replace(valueStr, "+Inf", "Inf", 1), "-Inf", "-Inf", 1), 64)
+			if err != nil {
+				t.Fatalf("line %d: bad value %q: %v", lineNo, valueStr, err)
+			}
+
+			if kind == KindHistogram {
+				// Key the series by its labels minus le.
+				le, hasLE := labels["le"]
+				delete(labels, "le")
+				skey := fam + "|" + labelKeyString(labels)
+				hs := hists[skey]
+				if hs == nil {
+					hs = &histSeries{}
+					hists[skey] = hs
+				}
+				switch {
+				case name == fam+"_bucket":
+					if !hasLE {
+						t.Errorf("line %d: bucket sample without le", lineNo)
+					}
+					if value < hs.lastCum {
+						t.Errorf("line %d: bucket counts not cumulative (%v after %v)", lineNo, value, hs.lastCum)
+					}
+					hs.lastCum = value
+					if le == "+Inf" {
+						hs.infCum, hs.haveInf = value, true
+					} else if _, err := strconv.ParseFloat(le, 64); err != nil {
+						t.Errorf("line %d: non-numeric le %q", lineNo, le)
+					}
+				case name == fam+"_sum":
+					hs.haveSum = true
+				case name == fam+"_count":
+					hs.count, hs.haveCnt = value, true
+				}
+				hs.lastName = name
+			} else if value != value { // NaN on a counter/gauge
+				t.Errorf("line %d: NaN value on %s", lineNo, name)
+			}
+			_ = math.Abs
+		}
+	}
+	for skey, hs := range hists {
+		if !hs.haveInf || !hs.haveCnt || !hs.haveSum {
+			t.Errorf("histogram series %s missing +Inf/_count/_sum (%t/%t/%t)",
+				skey, hs.haveInf, hs.haveCnt, hs.haveSum)
+			continue
+		}
+		if hs.infCum != hs.count {
+			t.Errorf("histogram series %s: +Inf bucket %v != _count %v", skey, hs.infCum, hs.count)
+		}
+	}
+	return counts
+}
+
+// splitLabelPairs splits `k="v",k2="v2"` on commas outside quotes.
+func splitLabelPairs(t *testing.T, lineNo int, block string) []string {
+	t.Helper()
+	var pairs []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(block); i++ {
+		switch block[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				pairs = append(pairs, block[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if depth {
+		t.Fatalf("line %d: unbalanced quotes in label block %q", lineNo, block)
+	}
+	pairs = append(pairs, block[start:])
+	return pairs
+}
+
+func labelKeyString(labels map[string]string) string {
+	parts := make([]string, 0, len(labels))
+	for k, v := range labels {
+		parts = append(parts, k+"="+v)
+	}
+	// Order-insensitive key: sort via simple insertion (few labels).
+	for i := 1; i < len(parts); i++ {
+		for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
+			parts[j], parts[j-1] = parts[j-1], parts[j]
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// TestExpositionFormatStrict renders a populated registry and runs the
+// strict validator over it: header ordering, label escaping, and histogram
+// bucket monotonicity with `+Inf` == `_count`.
+func TestExpositionFormatStrict(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("plain_total", "no labels").Add(3)
+	v := r.CounterVec("labeled_total", "labels", "app", "backend")
+	v.With("FFT", "genima").Add(1)
+	v.With("LU", "cables").Add(2)
+	v.With(`we"ird\val`+"\n", "x").Add(9)
+	r.Gauge("depth", "a gauge").Set(-4)
+	h := r.HistogramVec("run_seconds", "latency", []float64{0.01, 0.1, 1}, "outcome")
+	for _, d := range []float64{0.005, 0.02, 0.02, 0.5, 3} {
+		h.With("done").Observe(d)
+	}
+	h.With("failed").Observe(0.2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	counts := validateExposition(t, b.String())
+	for fam, want := range map[string]int{
+		"plain_total":   1,
+		"labeled_total": 3,
+		"depth":         1,
+		// 2 series × (4 buckets + sum + count)
+		"run_seconds": 12,
+	} {
+		if counts[fam] != want {
+			t.Errorf("family %s: %d samples, want %d\n%s", fam, counts[fam], want, b.String())
+		}
+	}
+	// Determinism: a second scrape of the unchanged registry is byte-equal.
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Error("two scrapes of an unchanged registry differ")
+	}
+}
+
+// TestExpositionUnderConcurrentWrites scrapes while writers mutate the very
+// histograms being rendered; every scrape must still pass the strict
+// validator (cumulative buckets, +Inf == _count).  With -race this is the
+// scrape-vs-write race gate.
+func TestExpositionUnderConcurrentWrites(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramVec("live_seconds", "live", []float64{0.001, 0.01, 0.1, 1}, "app")
+	c := r.CounterVec("live_total", "live", "app")
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			app := fmt.Sprintf("app%d", i%3)
+			h.With(app).Observe(float64(i%100) / 50)
+			c.With(app).Inc()
+			i++
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		validateExposition(t, b.String())
+	}
+	close(stop)
+	<-done
+}
